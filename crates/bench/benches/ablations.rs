@@ -1,0 +1,163 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! compares the quality-relevant configurations end-to-end so a regression
+//! in any design lever shows up as a changed runtime/IPC profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pathfinder_bench::{BENCH_LOADS, BENCH_SEED};
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher, Readout};
+use pathfinder_prefetch::{
+    generate_prefetches, EnsemblePrefetcher, NextLinePrefetcher, SisbPrefetcher,
+};
+use pathfinder_sim::{SimConfig, Simulator};
+use pathfinder_traces::Workload;
+
+fn ipc_of(cfg: PathfinderConfig, workload: Workload) -> f64 {
+    let trace = workload.generate(BENCH_LOADS, BENCH_SEED);
+    let mut pf = PathfinderPrefetcher::new(cfg).expect("valid config");
+    let schedule = generate_prefetches(&mut pf, &trace, 2);
+    Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+}
+
+/// Enlarged-pixel encoding on/off (§3.4's sparsity fix).
+fn ablate_enlarged_pixels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_enlarged_pixels");
+    group.sample_size(10);
+    for (name, enlarged) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ipc_of(
+                    PathfinderConfig {
+                        enlarged_pixels: enlarged,
+                        ..PathfinderConfig::default()
+                    },
+                    Workload::Soplex,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Middle-row reorder shift on/off (§3.4's anti-aliasing fix).
+fn ablate_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_reorder");
+    group.sample_size(10);
+    for (name, reorder) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ipc_of(
+                    PathfinderConfig {
+                        reorder_pixels: reorder,
+                        ..PathfinderConfig::default()
+                    },
+                    Workload::Soplex,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One vs two labels per neuron (§3.4 multi-degree).
+fn ablate_labels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_labels");
+    group.sample_size(10);
+    for labels in [1usize, 2] {
+        group.bench_function(format!("{labels}_label"), |b| {
+            b.iter(|| {
+                ipc_of(
+                    PathfinderConfig {
+                        labels_per_neuron: labels,
+                        ..PathfinderConfig::default()
+                    },
+                    Workload::Soplex,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Initial-access encoding on/off (§3.4 cold-page handling).
+fn ablate_initial_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_initial_access");
+    group.sample_size(10);
+    for (name, on) in [("wait_for_h_deltas", false), ("encode_initial", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ipc_of(
+                    PathfinderConfig {
+                        initial_access_encoding: on,
+                        ..PathfinderConfig::default()
+                    },
+                    Workload::Soplex,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Readout cost at equal quality target: 1-tick vs 32-tick.
+fn ablate_readout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_readout");
+    group.sample_size(10);
+    for (name, readout) in [("full_interval", Readout::FullInterval), ("one_tick", Readout::OneTick)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ipc_of(
+                    PathfinderConfig {
+                        readout,
+                        ..PathfinderConfig::default()
+                    },
+                    Workload::Soplex,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ensemble priority order: PATHFINDER-first (the paper's fixed policy) vs
+/// SISB-first.
+fn ablate_ensemble_priority(c: &mut Criterion) {
+    let trace = Workload::Xalan.generate(BENCH_LOADS, BENCH_SEED);
+    let mut group = c.benchmark_group("ablate_ensemble_priority");
+    group.sample_size(10);
+    group.bench_function("pathfinder_first", |b| {
+        b.iter(|| {
+            let pf = PathfinderPrefetcher::new(PathfinderConfig::default()).unwrap();
+            let mut e = EnsemblePrefetcher::new("pf_first", 2)
+                .with(pf)
+                .with(NextLinePrefetcher::new())
+                .with(SisbPrefetcher::new(2));
+            let schedule = generate_prefetches(&mut e, &trace, 2);
+            Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+        })
+    });
+    group.bench_function("sisb_first", |b| {
+        b.iter(|| {
+            let pf = PathfinderPrefetcher::new(PathfinderConfig::default()).unwrap();
+            let mut e = EnsemblePrefetcher::new("sisb_first", 2)
+                .with(SisbPrefetcher::new(2))
+                .with(pf)
+                .with(NextLinePrefetcher::new());
+            let schedule = generate_prefetches(&mut e, &trace, 2);
+            Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_enlarged_pixels,
+    ablate_reorder,
+    ablate_labels,
+    ablate_initial_access,
+    ablate_readout,
+    ablate_ensemble_priority
+);
+criterion_main!(ablations);

@@ -1,0 +1,194 @@
+//! Microbenchmarks of the individual substrates: the per-operation costs
+//! that determine how far the full experiments scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pathfinder_bench::{bench_trace, micro_trace, BENCH_SEED};
+use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder};
+use pathfinder_prefetch::{
+    generate_prefetches, BestOffsetPrefetcher, NextLinePrefetcher, PythiaPrefetcher,
+    SisbPrefetcher, SppPrefetcher,
+};
+use pathfinder_sim::{
+    Block, Cache, CacheConfig, CoreConfig, DramConfig, DramModel, RobModel, SimConfig, Simulator,
+};
+use pathfinder_snn::DiehlCookNetwork;
+
+/// Set-associative cache: hit and miss+fill paths.
+fn cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ops");
+    group.bench_function("hit", |b| {
+        let mut cache = Cache::new(CacheConfig::new(2048, 16, 20));
+        cache.fill(Block(42), false, 0);
+        b.iter(|| cache.demand_access(Block(42), 0))
+    });
+    group.bench_function("miss_fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::new(64, 4, 1));
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let blk = Block(x >> 40);
+            cache.demand_access(blk, 0);
+            cache.fill(blk, false, 0)
+        })
+    });
+    group.finish();
+}
+
+/// DRAM scheduling: row hits vs conflicts vs prefetch shedding.
+fn dram_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_ops");
+    group.bench_function("row_hit_stream", |b| {
+        let mut dram = DramModel::new(DramConfig::default());
+        let mut blk = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            blk += 1;
+            now = dram.service(Block(blk), now);
+            now
+        })
+    });
+    group.bench_function("scattered", |b| {
+        let mut dram = DramModel::new(DramConfig::default());
+        let mut x = 7u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            now = dram.service(Block(x >> 30), now);
+            now
+        })
+    });
+    group.bench_function("prefetch_shed_check", |b| {
+        let mut dram = DramModel::new(DramConfig::default());
+        let mut blk = 0u64;
+        b.iter(|| {
+            blk += 97;
+            dram.service_prefetch(Block(blk), 0)
+        })
+    });
+    group.finish();
+}
+
+/// The analytic ROB model.
+fn rob_model(c: &mut Criterion) {
+    c.bench_function("rob_model_load", |b| {
+        let mut rob = RobModel::new(CoreConfig::default());
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 4;
+            let issue = rob.issue_cycle(id);
+            rob.complete_load(id, issue, 100)
+        })
+    });
+}
+
+/// SNN presentation: the paper's central cost tradeoff (32-tick vs 1-tick).
+fn snn_present(c: &mut Criterion) {
+    let cfg = PathfinderConfig::default();
+    let encoder = PixelMatrixEncoder::new(&cfg);
+    let rates = encoder.encode(&[1, 2, 3]);
+    let mut group = c.benchmark_group("snn_present");
+    group.bench_function("full_32_tick", |b| {
+        let mut net = DiehlCookNetwork::new(cfg.snn_config(), BENCH_SEED).unwrap();
+        b.iter(|| net.present(&rates, true))
+    });
+    group.bench_function("one_tick", |b| {
+        let mut net = DiehlCookNetwork::new(cfg.snn_config(), BENCH_SEED).unwrap();
+        b.iter(|| net.present_one_tick(&rates, true))
+    });
+    group.bench_function("inference_only_32_tick", |b| {
+        let mut net = DiehlCookNetwork::new(cfg.snn_config(), BENCH_SEED).unwrap();
+        b.iter(|| net.present(&rates, false))
+    });
+    group.finish();
+}
+
+/// Pixel-matrix encoding variants.
+fn pixel_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_encoding");
+    for (name, enlarged, reorder) in [
+        ("plain", false, false),
+        ("enlarged", true, false),
+        ("enlarged_reordered", true, true),
+    ] {
+        let cfg = PathfinderConfig {
+            enlarged_pixels: enlarged,
+            reorder_pixels: reorder,
+            ..PathfinderConfig::default()
+        };
+        let enc = PixelMatrixEncoder::new(&cfg);
+        group.bench_function(name, |b| b.iter(|| enc.encode(&[1, 2, 3])));
+    }
+    group.finish();
+}
+
+/// Per-trace generation cost of each baseline prefetcher.
+fn prefetcher_generation(c: &mut Criterion) {
+    let trace = micro_trace();
+    let mut group = c.benchmark_group("prefetcher_generation");
+    group.sample_size(10);
+    group.bench_function("nextline", |b| {
+        b.iter_batched(
+            NextLinePrefetcher::new,
+            |mut p| generate_prefetches(&mut p, &trace, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("best_offset", |b| {
+        b.iter_batched(
+            || BestOffsetPrefetcher::new(2),
+            |mut p| generate_prefetches(&mut p, &trace, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("spp", |b| {
+        b.iter_batched(
+            SppPrefetcher::new,
+            |mut p| generate_prefetches(&mut p, &trace, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sisb", |b| {
+        b.iter_batched(
+            || SisbPrefetcher::new(2),
+            |mut p| generate_prefetches(&mut p, &trace, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pythia", |b| {
+        b.iter_batched(
+            || PythiaPrefetcher::new(BENCH_SEED),
+            |mut p| generate_prefetches(&mut p, &trace, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Timed replay throughput of the simulator itself.
+fn simulator_replay(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut nl = NextLinePrefetcher::with_degree(2);
+    let schedule = generate_prefetches(&mut nl, &trace, 2);
+    let mut group = c.benchmark_group("simulator_replay");
+    group.sample_size(10);
+    group.bench_function("no_prefetch", |b| {
+        b.iter(|| Simulator::new(SimConfig::default()).run(&trace, &[]))
+    });
+    group.bench_function("with_prefetch_schedule", |b| {
+        b.iter(|| Simulator::new(SimConfig::default()).run(&trace, &schedule))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    components,
+    cache_ops,
+    dram_ops,
+    rob_model,
+    snn_present,
+    pixel_encoding,
+    prefetcher_generation,
+    simulator_replay
+);
+criterion_main!(components);

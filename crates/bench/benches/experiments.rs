@@ -1,0 +1,196 @@
+//! One benchmark group per paper table/figure, at bench scale.
+//!
+//! These benches measure the end-to-end cost of regenerating each
+//! experiment's data (trace generation excluded where possible); the
+//! full-scale numbers themselves come from the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pathfinder_bench::{bench_trace, BENCH_LOADS, BENCH_SEED};
+use pathfinder_core::{PathfinderConfig, Readout, StdpDutyCycle, Variant};
+use pathfinder_harness::experiments::{hardware, snn_analysis, trace_stats};
+use pathfinder_harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_traces::Workload;
+
+fn scenario() -> Scenario {
+    Scenario {
+        loads: BENCH_LOADS,
+        seed: BENCH_SEED,
+        ..Scenario::default()
+    }
+}
+
+/// Figure 4: the full prefetcher line-up on one workload.
+fn fig4_shootout(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig4_shootout");
+    group.sample_size(10);
+    for kind in PrefetcherKind::figure4_lineup() {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5: PATHFINDER across delta ranges.
+fn fig5_delta_range(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig5_delta_range");
+    group.sample_size(10);
+    for range in [15u8, 31, 63] {
+        let kind = PrefetcherKind::Pathfinder(PathfinderConfig {
+            delta_range: range,
+            ..PathfinderConfig::default()
+        });
+        group.bench_function(format!("range_{range}"), |b| {
+            b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: neuron-count / label-count grid.
+fn fig6_neurons(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig6_neurons");
+    group.sample_size(10);
+    for labels in [1usize, 2] {
+        for neurons in [10usize, 50, 100] {
+            let kind = PrefetcherKind::Pathfinder(PathfinderConfig {
+                neurons,
+                labels_per_neuron: labels,
+                ..PathfinderConfig::default()
+            });
+            group.bench_function(format!("{neurons}n_{labels}l"), |b| {
+                b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 7: full 32-tick interval vs the 1-tick approximation.
+fn fig7_one_tick(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig7_one_tick");
+    group.sample_size(10);
+    for (name, readout) in [("ticks_32", Readout::FullInterval), ("tick_1", Readout::OneTick)] {
+        let kind = PrefetcherKind::Pathfinder(PathfinderConfig {
+            readout,
+            ..PathfinderConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: STDP duty-cycling.
+fn fig8_stdp_duty(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig8_stdp_duty");
+    group.sample_size(10);
+    for on in [50u64, 1000] {
+        let kind = PrefetcherKind::Pathfinder(PathfinderConfig {
+            stdp_duty: StdpDutyCycle::first_n_of_5000(on),
+            ..PathfinderConfig::default()
+        });
+        group.bench_function(format!("first_{on}_of_5000"), |b| {
+            b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+        });
+    }
+    let always = PrefetcherKind::Pathfinder(PathfinderConfig::default());
+    group.bench_function("always_on", |b| {
+        b.iter(|| sc.evaluate(&always, Workload::Soplex, &trace, baseline))
+    });
+    group.finish();
+}
+
+/// Figure 9: the implementation-variant ladder.
+fn fig9_variants(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let baseline = sc.baseline_misses(&trace);
+    let mut group = c.benchmark_group("fig9_variants");
+    group.sample_size(10);
+    for v in Variant::ALL {
+        let kind = PrefetcherKind::Pathfinder(v.config());
+        group.bench_function(v.label().replace(' ', "_"), |b| {
+            b.iter(|| sc.evaluate(&kind, Workload::Soplex, &trace, baseline))
+        });
+    }
+    group.finish();
+}
+
+/// Table 1: 1-tick argmax vs 32-tick winner match rate.
+fn tab1_tick_match(c: &mut Criterion) {
+    let sc = scenario();
+    let mut group = c.benchmark_group("tab1_tick_match");
+    group.sample_size(10);
+    group.bench_function("one_workload", |b| {
+        b.iter(|| snn_analysis::tab1(&sc, &[Workload::Soplex]))
+    });
+    group.finish();
+}
+
+/// Table 2 / Figure 3: the SNN learning demonstration.
+fn tab2_snn_demo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab2_snn_demo");
+    group.sample_size(10);
+    group.bench_function("scripted_patterns", |b| {
+        b.iter(|| snn_analysis::tab2(BENCH_SEED))
+    });
+    group.finish();
+}
+
+/// Tables 7 and 8: trace delta statistics.
+fn tab7_tab8_stats(c: &mut Criterion) {
+    let sc = scenario();
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("tab7_tab8_stats");
+    group.bench_function("tab7_ranges", |b| {
+        b.iter(|| trace_stats::tab7(&sc, &[Workload::Soplex]))
+    });
+    group.bench_function("tab8_windows", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| trace_stats::tab8_stats(&t),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Table 9: the hardware model (cheap, but a regression canary).
+fn tab9_hardware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab9_hardware");
+    group.bench_function("full_render", |b| b.iter(hardware::tab9));
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    fig4_shootout,
+    fig5_delta_range,
+    fig6_neurons,
+    fig7_one_tick,
+    fig8_stdp_duty,
+    fig9_variants,
+    tab1_tick_match,
+    tab2_snn_demo,
+    tab7_tab8_stats,
+    tab9_hardware
+);
+criterion_main!(experiments);

@@ -1,0 +1,39 @@
+//! # pathfinder-bench
+//!
+//! Criterion benchmark harness for the PATHFINDER reproduction. Three bench
+//! suites live under `benches/`:
+//!
+//! * `experiments` — one benchmark group per paper table/figure, running the
+//!   corresponding harness experiment at bench scale (`cargo bench` must
+//!   stay minutes, not hours; the `repro` binary runs the full-scale
+//!   versions).
+//! * `components` — microbenchmarks of the substrates: cache lookups, DRAM
+//!   scheduling, the ROB model, SNN presentation (32-tick vs 1-tick), pixel
+//!   encoding, and each prefetcher's per-access cost.
+//! * `ablations` — the design-choice ablations DESIGN.md calls out
+//!   (enlarged pixels, reorder, label count, ensemble priority).
+//!
+//! This library crate only exposes shared scale constants and trace helpers
+//! so every suite benchmarks identical inputs.
+
+#![warn(missing_docs)]
+
+use pathfinder_sim::Trace;
+use pathfinder_traces::Workload;
+
+/// Loads per trace for experiment-level benches.
+pub const BENCH_LOADS: usize = 4_000;
+/// Loads per trace for microbenches that iterate per access.
+pub const MICRO_LOADS: usize = 2_000;
+/// Seed shared by all benches.
+pub const BENCH_SEED: u64 = 42;
+
+/// The benchmark trace: one representative delta-rich workload.
+pub fn bench_trace() -> Trace {
+    Workload::Soplex.generate(BENCH_LOADS, BENCH_SEED)
+}
+
+/// A smaller irregular trace for prefetcher microbenches.
+pub fn micro_trace() -> Trace {
+    Workload::Mcf.generate(MICRO_LOADS, BENCH_SEED)
+}

@@ -1,0 +1,276 @@
+//! The Memory Access Pixel Matrix (§3.2): delta histories become `D x H`
+//! images the SNN classifies like MNIST digits.
+
+use crate::config::PathfinderConfig;
+
+/// Fixed shift applied to the middle delta row when reordering is enabled,
+/// reducing aliasing between enlarged pixels of nearby deltas (§3.4).
+const REORDER_SHIFT: i16 = 5;
+
+/// Intensity of the 4-neighborhood pixels in enlarged-pixel mode.
+const NEIGHBOR_INTENSITY: f32 = 0.5;
+
+/// Encodes delta histories into pixel-intensity vectors for the SNN.
+///
+/// Each of the `H` rows represents one delta in the history; the column
+/// within the row encodes the delta value, with column `delta_range`
+/// representing delta 0.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder};
+///
+/// let cfg = PathfinderConfig::default();
+/// let enc = PixelMatrixEncoder::new(&cfg);
+/// let rates = enc.encode(&[1, 2, 3]);
+/// assert_eq!(rates.len(), cfg.n_input());
+/// assert!(rates.iter().any(|&r| r > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PixelMatrixEncoder {
+    delta_range: i16,
+    row_width: usize,
+    history: usize,
+    enlarged: bool,
+    reorder: bool,
+}
+
+impl PixelMatrixEncoder {
+    /// Creates an encoder matching the prefetcher configuration.
+    pub fn new(cfg: &PathfinderConfig) -> Self {
+        PixelMatrixEncoder {
+            delta_range: cfg.delta_range as i16,
+            row_width: cfg.row_width(),
+            history: cfg.history,
+            enlarged: cfg.enlarged_pixels,
+            reorder: cfg.reorder_pixels,
+        }
+    }
+
+    /// Row width `D`.
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Total encoded length `D x H`.
+    pub fn len(&self) -> usize {
+        self.row_width * self.history
+    }
+
+    /// Whether the encoder output would be empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encodes the last `H` deltas (oldest first) into pixel intensities.
+    /// Deltas outside `[-delta_range, delta_range]` are clamped to the edge
+    /// columns. Histories shorter than `H` are left-padded with zero rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `H` deltas are supplied.
+    pub fn encode(&self, deltas: &[i16]) -> Vec<f32> {
+        assert!(
+            deltas.len() <= self.history,
+            "history holds at most {} deltas",
+            self.history
+        );
+        let mut rates = vec![0.0f32; self.len()];
+        let pad = self.history - deltas.len();
+        for (row, &d) in deltas.iter().enumerate() {
+            self.paint(&mut rates, pad + row, d);
+        }
+        rates
+    }
+
+    /// Encodes one of the paper's initial-access special cases (§3.4):
+    ///
+    /// * first touch (offset `of1`):  pattern `{OF1, 0, 0}`
+    /// * second touch (delta `d1`):   pattern `{0, 0, D1}` (zeros moved to
+    ///   the front so the SNN can tell offsets from deltas)
+    /// * third touch (`d1`, `d2`):    pattern `{0, D1, D2}`
+    pub fn encode_initial(&self, offset: Option<u8>, deltas: &[i16]) -> Vec<f32> {
+        let mut rates = vec![0.0f32; self.len()];
+        match (offset, deltas.len()) {
+            (Some(of1), 0) => {
+                // {OF1, 0, 0}: offset in the first row, zero rows after.
+                self.paint(&mut rates, 0, of1 as i16);
+                for row in 1..self.history {
+                    self.paint(&mut rates, row, 0);
+                }
+            }
+            (None, n) if n < self.history => {
+                // {0, ..., D1, ..}: leading zero rows, then the deltas.
+                let zeros = self.history - n;
+                for row in 0..zeros {
+                    self.paint(&mut rates, row, 0);
+                }
+                for (i, &d) in deltas.iter().enumerate() {
+                    self.paint(&mut rates, zeros + i, d);
+                }
+            }
+            _ => return self.encode(deltas),
+        }
+        rates
+    }
+
+    /// Paints one delta into one row, applying reorder shift and pixel
+    /// enlargement.
+    fn paint(&self, rates: &mut [f32], row: usize, delta: i16) {
+        let mut d = delta.clamp(-self.delta_range, self.delta_range);
+        // Reorder: shift the middle row by a fixed constant to de-alias
+        // neighboring enlarged pixels.
+        if self.reorder && self.history >= 3 && row == self.history / 2 {
+            d = (d + REORDER_SHIFT).clamp(-self.delta_range, self.delta_range);
+        }
+        let col = (d + self.delta_range) as usize;
+        let base = row * self.row_width;
+        rates[base + col] = 1.0;
+        if self.enlarged {
+            // Light the 4-neighborhood: left/right within the row, and the
+            // same column in the rows above/below.
+            if col > 0 {
+                bump(&mut rates[base + col - 1]);
+            }
+            if col + 1 < self.row_width {
+                bump(&mut rates[base + col + 1]);
+            }
+            if row > 0 {
+                bump(&mut rates[base - self.row_width + col]);
+            }
+            if row + 1 < self.history {
+                bump(&mut rates[base + self.row_width + col]);
+            }
+        }
+    }
+}
+
+fn bump(r: &mut f32) {
+    *r = r.max(NEIGHBOR_INTENSITY);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathfinderConfig;
+
+    fn encoder(enlarged: bool, reorder: bool) -> PixelMatrixEncoder {
+        let cfg = PathfinderConfig {
+            enlarged_pixels: enlarged,
+            reorder_pixels: reorder,
+            ..PathfinderConfig::default()
+        };
+        PixelMatrixEncoder::new(&cfg)
+    }
+
+    fn active(rates: &[f32]) -> Vec<usize> {
+        rates
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn plain_encoding_one_pixel_per_row() {
+        let enc = encoder(false, false);
+        let rates = enc.encode(&[1, 2, 3]);
+        let on = active(&rates);
+        assert_eq!(on.len(), 3);
+        // Row r, delta d → index r*127 + d + 63.
+        assert_eq!(on, vec![64, 127 + 65, 254 + 66]);
+    }
+
+    #[test]
+    fn figure1_example_deltas() {
+        // The paper's Figure 1 walks {1, 2, 3} through a D=127 matrix.
+        let enc = encoder(false, false);
+        let rates = enc.encode(&[1, 2, 3]);
+        assert_eq!(rates.iter().filter(|&&r| r == 1.0).count(), 3);
+    }
+
+    #[test]
+    fn enlarged_pixels_light_neighbors() {
+        let enc = encoder(true, false);
+        let rates = enc.encode(&[0]);
+        // The single center pixel plus its in-row and cross-row neighbors.
+        let on = active(&rates);
+        assert!(on.len() >= 4, "neighborhood should be lit: {on:?}");
+        assert_eq!(rates.iter().filter(|&&r| r == 1.0).count(), 1);
+        assert!(rates.iter().any(|&r| r == 0.5));
+    }
+
+    #[test]
+    fn reorder_shifts_middle_row_only() {
+        let plain = encoder(false, false).encode(&[10, 10, 10]);
+        let reordered = encoder(false, true).encode(&[10, 10, 10]);
+        let w = 127;
+        // Rows 0 and 2 identical; row 1 shifted by the constant.
+        assert_eq!(&plain[..w], &reordered[..w]);
+        assert_eq!(&plain[2 * w..], &reordered[2 * w..]);
+        assert_ne!(&plain[w..2 * w], &reordered[w..2 * w]);
+    }
+
+    #[test]
+    fn deltas_clamp_to_range() {
+        let cfg = PathfinderConfig {
+            delta_range: 15,
+            enlarged_pixels: false,
+            reorder_pixels: false,
+            ..PathfinderConfig::default()
+        };
+        let enc = PixelMatrixEncoder::new(&cfg);
+        let rates = enc.encode(&[100, -100]);
+        let on = active(&rates);
+        // History of 2 deltas is left-padded one row; clamped to edges.
+        assert_eq!(on.len(), 2);
+        assert_eq!(on[0] % 31, 30); // +15 clamped, rightmost column
+        assert_eq!(on[1] % 31, 0); // -15 clamped, leftmost column
+    }
+
+    #[test]
+    fn short_history_pads_leading_rows() {
+        let enc = encoder(false, false);
+        let rates = enc.encode(&[7]);
+        let on = active(&rates);
+        assert_eq!(on.len(), 1);
+        assert!(on[0] >= 2 * 127, "single delta goes in the last row");
+    }
+
+    #[test]
+    fn initial_access_offset_pattern_differs_from_delta_pattern() {
+        let enc = encoder(false, false);
+        // First touch at offset 5 vs a delta history ending in 5: the
+        // paper's zero-placement rule must make them distinct.
+        let first_touch = enc.encode_initial(Some(5), &[]);
+        let one_delta = enc.encode_initial(None, &[5]);
+        assert_ne!(first_touch, one_delta);
+        // {OF1, 0, 0}: offset row first.
+        let on = active(&first_touch);
+        assert!(on[0] < 127, "offset goes in row 0: {on:?}");
+        // {0, 0, D1}: delta in the last row.
+        let on = active(&one_delta);
+        assert!(*on.last().unwrap() >= 2 * 127, "delta goes in row 2: {on:?}");
+    }
+
+    #[test]
+    fn initial_two_deltas_pattern() {
+        let enc = encoder(false, false);
+        let rates = enc.encode_initial(None, &[2, 4]);
+        let on = active(&rates);
+        // {0, D1, D2}: zero row, then the two deltas.
+        assert_eq!(on.len(), 3);
+        assert_eq!(on[0], 63); // delta 0 pixel in row 0
+        assert_eq!(on[1], 127 + 65);
+        assert_eq!(on[2], 254 + 67);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_oversized_history() {
+        let enc = encoder(false, false);
+        let _ = enc.encode(&[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Extensions beyond the paper's evaluated design, implementing its stated
+//! future work (§3.4: "Predicting the first access to a page that has not
+//! been touched in a while (a cold page access) is left for future work").
+
+use std::collections::HashMap;
+
+use pathfinder_prefetch::Prefetcher;
+use pathfinder_sim::{Block, MemoryAccess, Page};
+
+/// Predicts the *first block of the next page* a load stream will touch.
+///
+/// PATHFINDER proper only prefetches within the current page; every first
+/// touch to a cold page is a guaranteed miss it cannot cover. This extension
+/// records, per PC, the page-to-page transition graph along with the first
+/// offset touched in the successor page, and prefetches that block when the
+/// stream enters a page whose successor is known with confidence.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_core::extensions::CrossPagePredictor;
+/// use pathfinder_prefetch::Prefetcher;
+/// use pathfinder_sim::MemoryAccess;
+///
+/// let mut xp = CrossPagePredictor::new(2);
+/// // Stream touching pages 10 -> 11 -> 12 repeatedly...
+/// for rep in 0..3 {
+///     for page in 10u64..13 {
+///         let _ = xp.on_access(&MemoryAccess::new(rep, 0x400, page * 4096 + 5 * 64));
+///     }
+/// }
+/// // ...on re-entering page 10 it prefetches page 11's entry block.
+/// let out = xp.on_access(&MemoryAccess::new(9, 0x400, 10 * 4096 + 5 * 64));
+/// assert!(!out.is_empty());
+/// assert_eq!(out[0].page().0, 11);
+/// ```
+#[derive(Debug)]
+pub struct CrossPagePredictor {
+    /// `(pc, page) -> (successor page, first offset, 2-bit confidence)`.
+    transitions: HashMap<(u64, u64), (u64, u8, u8)>,
+    /// Last page per PC.
+    last_page: HashMap<u64, Page>,
+    degree: usize,
+    max_entries: usize,
+    /// Transition predictions issued.
+    issued: u64,
+}
+
+impl CrossPagePredictor {
+    /// Creates a predictor issuing up to `degree` cross-page prefetches per
+    /// page transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        CrossPagePredictor {
+            transitions: HashMap::new(),
+            last_page: HashMap::new(),
+            degree,
+            max_entries: 1 << 16,
+            issued: 0,
+        }
+    }
+
+    /// Cross-page prefetches issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of learned page transitions.
+    pub fn learned_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+impl Prefetcher for CrossPagePredictor {
+    fn name(&self) -> &str {
+        "CrossPage"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let pc = access.pc.raw();
+        let block = access.block();
+        let page = block.page();
+        let offset = block.page_offset();
+
+        let prev = self.last_page.insert(pc, page);
+        let entered_new_page = prev.is_some_and(|p| p != page);
+
+        // Learn: the previous page's successor is this page (confidence
+        // counter handles alternating successors).
+        if let Some(prev_page) = prev {
+            if prev_page != page {
+                if self.transitions.len() >= self.max_entries {
+                    self.transitions.clear();
+                }
+                let entry = self
+                    .transitions
+                    .entry((pc, prev_page.0))
+                    .or_insert((page.0, offset, 0));
+                if entry.0 == page.0 {
+                    entry.1 = offset;
+                    entry.2 = (entry.2 + 1).min(3);
+                } else if entry.2 == 0 {
+                    *entry = (page.0, offset, 1);
+                } else {
+                    entry.2 -= 1;
+                }
+            }
+        }
+
+        // Predict: on entering a page, walk the learned transition chain.
+        if !entered_new_page {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.degree);
+        let mut cur = page.0;
+        for _ in 0..self.degree {
+            match self.transitions.get(&(pc, cur)) {
+                Some(&(next, off, conf)) if conf >= 2 => {
+                    let b = Page(next).block_at(off);
+                    if b != block && !out.contains(&b) {
+                        out.push(b);
+                    }
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, pc: u64, page: u64, off: u64) -> MemoryAccess {
+        MemoryAccess::new(i, pc, page * 4096 + off * 64)
+    }
+
+    #[test]
+    fn learns_page_chain_and_replays() {
+        let mut xp = CrossPagePredictor::new(2);
+        // Train the chain 1 -> 2 -> 3 three times.
+        let mut id = 0u64;
+        for _ in 0..3 {
+            for p in 1u64..=3 {
+                xp.on_access(&access(id, 7, p, p + 4));
+                id += 1;
+            }
+        }
+        assert_eq!(xp.learned_transitions(), 3); // 1->2, 2->3, 3->1 (wrap)
+        // Entering page 1 again predicts page 2's and page 3's entry blocks.
+        let out = xp.on_access(&access(id, 7, 1, 5));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], Page(2).block_at(6));
+        assert_eq!(out[1], Page(3).block_at(7));
+    }
+
+    #[test]
+    fn requires_confidence_before_predicting() {
+        let mut xp = CrossPagePredictor::new(1);
+        xp.on_access(&access(0, 7, 1, 0));
+        xp.on_access(&access(1, 7, 2, 0)); // 1->2 seen once (conf 1)
+        let out = xp.on_access(&access(2, 7, 1, 0));
+        assert!(out.is_empty(), "single observation is not enough");
+    }
+
+    #[test]
+    fn changing_successor_decays_confidence() {
+        let mut xp = CrossPagePredictor::new(1);
+        let mut id = 0u64;
+        // Establish 1 -> 2 firmly.
+        for _ in 0..4 {
+            xp.on_access(&access(id, 7, 1, 0));
+            id += 1;
+            xp.on_access(&access(id, 7, 2, 0));
+            id += 1;
+        }
+        // Phase change: 1 -> 9 repeatedly.
+        for _ in 0..6 {
+            xp.on_access(&access(id, 7, 1, 0));
+            id += 1;
+            xp.on_access(&access(id, 7, 9, 3));
+            id += 1;
+        }
+        let out = xp.on_access(&access(id, 7, 1, 0));
+        assert_eq!(out, vec![Page(9).block_at(3)], "adapts to the new phase");
+    }
+
+    #[test]
+    fn transitions_are_pc_local() {
+        let mut xp = CrossPagePredictor::new(1);
+        let mut id = 0u64;
+        for _ in 0..3 {
+            xp.on_access(&access(id, 1, 10, 0));
+            id += 1;
+            xp.on_access(&access(id, 1, 11, 0));
+            id += 1;
+            xp.on_access(&access(id, 2, 10, 0));
+            id += 1;
+            xp.on_access(&access(id, 2, 50, 0));
+            id += 1;
+        }
+        let via_pc1 = xp.on_access(&access(id, 1, 10, 0));
+        let via_pc2 = xp.on_access(&access(id + 1, 2, 10, 0));
+        assert_eq!(via_pc1[0].page().0, 11);
+        assert_eq!(via_pc2[0].page().0, 50);
+    }
+
+    #[test]
+    fn same_page_accesses_predict_nothing() {
+        let mut xp = CrossPagePredictor::new(1);
+        for i in 0..10u64 {
+            let out = xp.on_access(&access(i, 7, 5, i % 64));
+            assert!(out.is_empty());
+        }
+        assert_eq!(xp.issued(), 0);
+    }
+}

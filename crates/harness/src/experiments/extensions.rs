@@ -1,0 +1,76 @@
+//! Beyond-the-paper experiment: the two future-work directions §3.4/§5 name
+//! (cold-page prediction and dynamic ensemble priority), evaluated against
+//! the paper's fixed-priority best design point.
+
+use pathfinder_core::PathfinderConfig;
+use pathfinder_traces::Workload;
+
+use crate::metrics::{mean, Evaluation};
+use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::table::{f3, pct, TextTable};
+
+/// The extension line-up: PATHFINDER alone, the paper's fixed ensemble, the
+/// dynamic-priority ensemble, and PATHFINDER + cross-page prediction.
+pub fn lineup() -> Vec<PrefetcherKind> {
+    let cfg = PathfinderConfig::default();
+    vec![
+        PrefetcherKind::Pathfinder(cfg),
+        PrefetcherKind::PathfinderNlSisb(cfg),
+        PrefetcherKind::DynamicPfNlSisb(cfg),
+        PrefetcherKind::PathfinderCrossPage(cfg),
+    ]
+}
+
+/// Runs the extension comparison on the given workloads.
+pub fn run(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Vec<Evaluation>>, String) {
+    let kinds = lineup();
+    let evals = per_workload(workloads, |w| scenario.evaluate_all(&kinds, w));
+
+    let mut header = vec!["trace"];
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    header.extend(labels.iter().copied());
+    let mut ipc_table = TextTable::new(
+        "Extensions: IPC of future-work designs vs the paper's fixed ensemble",
+        &header,
+    );
+    let mut cov_table = TextTable::new("Extensions: coverage", &header);
+    for ws in &evals {
+        let mut ipc_row = vec![ws[0].workload.trace_name().to_string()];
+        let mut cov_row = ipc_row.clone();
+        for e in ws {
+            ipc_row.push(f3(e.ipc()));
+            cov_row.push(pct(e.coverage()));
+        }
+        ipc_table.row(ipc_row);
+        cov_table.row(cov_row);
+    }
+    let mut avg_ipc = vec!["average".to_string()];
+    let mut avg_cov = vec!["average".to_string()];
+    for (i, _) in labels.iter().enumerate() {
+        let col: Vec<Evaluation> = evals.iter().map(|ws| ws[i].clone()).collect();
+        avg_ipc.push(f3(mean(&col, |e| e.ipc())));
+        avg_cov.push(pct(mean(&col, |e| e.coverage())));
+    }
+    ipc_table.row(avg_ipc);
+    cov_table.row(avg_cov);
+
+    let mut text = ipc_table.render();
+    text.push('\n');
+    text.push_str(&cov_table.render());
+    (evals, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_lineup_runs() {
+        let sc = Scenario::with_loads(2_000);
+        let (evals, text) = run(&sc, &[Workload::Sphinx]);
+        assert_eq!(evals.len(), 1);
+        assert_eq!(evals[0].len(), 4);
+        assert!(text.contains("PF+XPage"));
+        assert!(text.contains("dyn(PF,NL,SISB)"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 4 (+ Table 6): IPC, accuracy, and coverage of every prefetcher on
+//! all eleven workloads.
+
+use pathfinder_traces::Workload;
+
+use crate::metrics::{mean, Evaluation};
+use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::table::{count, f3, pct, TextTable};
+
+/// Results indexed `[workload][prefetcher]` in line-up order.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Evaluations per workload (Table 5 order), per prefetcher (Figure 4
+    /// legend order).
+    pub evals: Vec<Vec<Evaluation>>,
+}
+
+impl Fig4Result {
+    /// All results for one prefetcher label.
+    pub fn for_prefetcher(&self, label: &str) -> Vec<&Evaluation> {
+        self.evals
+            .iter()
+            .flat_map(|ws| ws.iter())
+            .filter(|e| e.prefetcher == label)
+            .collect()
+    }
+
+    /// Mean IPC over workloads for one prefetcher.
+    pub fn mean_ipc(&self, label: &str) -> f64 {
+        let evals: Vec<Evaluation> = self
+            .for_prefetcher(label)
+            .into_iter()
+            .cloned()
+            .collect();
+        mean(&evals, |e| e.ipc())
+    }
+}
+
+/// Runs the full Figure 4 comparison.
+pub fn run(scenario: &Scenario) -> Fig4Result {
+    run_with(scenario, &Workload::ALL)
+}
+
+/// Runs Figure 4 on a workload subset (used by tests and benches).
+pub fn run_with(scenario: &Scenario, workloads: &[Workload]) -> Fig4Result {
+    let kinds = PrefetcherKind::figure4_lineup();
+    let evals = per_workload(workloads, |w| scenario.evaluate_all(&kinds, w));
+    Fig4Result { evals }
+}
+
+/// Renders Figure 4a/b/c and Table 6.
+pub fn render(r: &Fig4Result) -> String {
+    let labels: Vec<&str> = PrefetcherKind::figure4_lineup()
+        .iter()
+        .map(|k| k.label())
+        .collect();
+    let mut out = String::new();
+
+    for (title, metric) in [
+        ("Figure 4a: IPC", 0usize),
+        ("Figure 4b: Accuracy", 1),
+        ("Figure 4c: Coverage", 2),
+    ] {
+        let mut header = vec!["trace"];
+        header.extend(labels.iter().copied());
+        let mut t = TextTable::new(title, &header);
+        for ws in &r.evals {
+            let mut row = vec![ws[0].workload.trace_name().to_string()];
+            for e in ws {
+                row.push(match metric {
+                    0 => f3(e.ipc()),
+                    1 => pct(e.accuracy()),
+                    _ => pct(e.coverage()),
+                });
+            }
+            t.row(row);
+        }
+        // Average row.
+        let mut avg = vec!["average".to_string()];
+        for (i, _) in labels.iter().enumerate() {
+            let col: Vec<Evaluation> = r.evals.iter().map(|ws| ws[i].clone()).collect();
+            avg.push(match metric {
+                0 => f3(mean(&col, |e| e.ipc())),
+                1 => pct(mean(&col, |e| e.accuracy())),
+                _ => pct(mean(&col, |e| e.coverage())),
+            });
+        }
+        t.row(avg);
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // Table 6: issued prefetches for the paper's three columns.
+    let mut t = TextTable::new(
+        "Table 6: issued prefetches (SPP lowest-coverage, Pythia highest-coverage, PATHFINDER)",
+        &["trace", "SPP", "Pythia", "PATHFINDER"],
+    );
+    let mut sums = [0u64; 3];
+    for ws in &r.evals {
+        let find = |label: &str| {
+            ws.iter()
+                .find(|e| e.prefetcher == label)
+                .map_or(0, |e| e.issued())
+        };
+        let (s, p, pf) = (find("SPP"), find("Pythia"), find("PATHFINDER"));
+        sums[0] += s;
+        sums[1] += p;
+        sums[2] += pf;
+        t.row(vec![
+            ws[0].workload.trace_name().to_string(),
+            count(s),
+            count(p),
+            count(pf),
+        ]);
+    }
+    let n = r.evals.len().max(1) as u64;
+    t.row(vec![
+        "average".into(),
+        count(sums[0] / n),
+        count(sums[1] / n),
+        count(sums[2] / n),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig4_runs_and_renders() {
+        let sc = Scenario::with_loads(1500);
+        let r = run_with(&sc, &[Workload::Sphinx]);
+        assert_eq!(r.evals.len(), 1);
+        assert_eq!(r.evals[0].len(), 9);
+        let text = render(&r);
+        assert!(text.contains("Figure 4a"));
+        assert!(text.contains("Table 6"));
+        assert!(text.contains("482-sphinx-s0"));
+    }
+}

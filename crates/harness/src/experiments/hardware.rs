@@ -1,0 +1,76 @@
+//! Table 9 and the §3.5 hardware-cost summary.
+
+use pathfinder_hw::{CamHardware, PathfinderHardware, SnnHardware};
+
+use crate::table::TextTable;
+
+/// Renders Table 9 (SNN area/power across PE count x delta width) plus the
+/// supporting-table and total estimates of §3.5.
+pub fn tab9() -> String {
+    let mut t = TextTable::new(
+        "Table 9: area and power of PATHFINDER SNN implementations (12 nm)",
+        &["configuration", "total area (mm^2)", "total power (W)"],
+    );
+    for &n_pe in &[50usize, 1] {
+        for &width in &[127usize, 63, 31] {
+            let e = SnnHardware {
+                n_pe,
+                delta_width: width,
+                history: 3,
+            }
+            .estimate();
+            t.row(vec![
+                format!("{n_pe} pe, range {width}"),
+                format!("{:.3}", e.area_mm2),
+                format!("{:.3}", e.power_w),
+            ]);
+        }
+    }
+    let mut out = t.render();
+
+    let mut s = TextTable::new(
+        "§3.5 supporting structures and totals",
+        &["structure", "area (mm^2)", "power (W)"],
+    );
+    let snn = SnnHardware::paper_default().estimate();
+    let tt = CamHardware::training_table().estimate();
+    let it = CamHardware::inference_table().estimate();
+    let total = PathfinderHardware::paper_default().estimate();
+    for (name, e) in [
+        ("SNN (50 PE, D=127)", snn),
+        ("Training Table (1K x 120b CAM)", tt),
+        ("Inference Table (50 x 24b CAM)", it),
+        ("PATHFINDER total", total),
+    ] {
+        s.row(vec![
+            name.to_string(),
+            format!("{:.5}", e.area_mm2),
+            format!("{:.5}", e.power_w),
+        ]);
+    }
+    s.row(vec![
+        "fraction of Ryzen 7 2700X die".to_string(),
+        format!("{:.3}%", total.die_fraction() * 100.0),
+        format!(
+            "{:.3}%",
+            total.power_w / pathfinder_hw::reference::RYZEN_2700X_TDP_W * 100.0
+        ),
+    ]);
+    out.push('\n');
+    out.push_str(&s.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab9_renders_all_rows() {
+        let text = tab9();
+        assert!(text.contains("50 pe, range 127"));
+        assert!(text.contains("1 pe, range 31"));
+        assert!(text.contains("PATHFINDER total"));
+        assert!(text.contains("Ryzen"));
+    }
+}

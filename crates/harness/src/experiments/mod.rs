@@ -1,0 +1,8 @@
+//! One module per paper table/figure.
+
+pub mod extensions;
+pub mod fig4;
+pub mod hardware;
+pub mod snn_analysis;
+pub mod sweeps;
+pub mod trace_stats;

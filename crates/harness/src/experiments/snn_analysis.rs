@@ -1,0 +1,160 @@
+//! Table 1 (1-tick argmax vs 32-tick winner match rate) and Table 2 /
+//! Figure 3 (the SNN learning demonstration of §3.6).
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher, PixelMatrixEncoder, Readout};
+use pathfinder_prefetch::generate_prefetches;
+use pathfinder_snn::{DiehlCookNetwork, SnnConfig, SpikeMonitor};
+use pathfinder_traces::Workload;
+
+use crate::runner::{per_workload, Scenario};
+use crate::table::{pct, TextTable};
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Tab1Row {
+    /// Workload measured.
+    pub workload: Workload,
+    /// Fraction of queries where the first-tick argmax matched the
+    /// 32-tick winner.
+    pub match_rate: f64,
+    /// Number of compared queries.
+    pub comparisons: u64,
+}
+
+/// Runs Table 1: PATHFINDER in full-interval mode, recording how often the
+/// highest-potential neuron after tick 1 is also the most-firing neuron
+/// after 32 ticks.
+pub fn tab1(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab1Row>, String) {
+    let rows = per_workload(workloads, |w| {
+        let trace = scenario.trace(w);
+        let mut pf = PathfinderPrefetcher::new(PathfinderConfig {
+            readout: Readout::FullInterval,
+            ..PathfinderConfig::default()
+        })
+        .expect("valid config");
+        let _ = generate_prefetches(&mut pf, &trace, scenario.sim.max_prefetch_degree);
+        Tab1Row {
+            workload: w,
+            match_rate: pf.stats().one_tick_match_rate(),
+            comparisons: pf.stats().one_tick_comparisons,
+        }
+    });
+    let mut t = TextTable::new(
+        "Table 1: % of first-tick argmax neurons matching the 32-tick firing neuron",
+        &["suite", "trace", "matched neuron", "queries"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.suite().to_string(),
+            r.workload.trace_name().to_string(),
+            pct(r.match_rate),
+            r.comparisons.to_string(),
+        ]);
+    }
+    (rows, t.render())
+}
+
+/// One Table 2 row: the SNN's reaction to one scripted input pattern.
+#[derive(Debug, Clone)]
+pub struct Tab2Row {
+    /// The delta pattern presented.
+    pub pattern: Vec<i16>,
+    /// Neuron that fired (most-firing in the interval), if any.
+    pub firing_neuron: Option<usize>,
+    /// Tick of the first spike.
+    pub firing_tick: Option<u32>,
+    /// End-of-interval potential of the best non-winning neuron.
+    pub runner_up_potential: f32,
+}
+
+/// Runs the §3.6 demonstration: feed `{1,2,4}` repeatedly (with a few noisy
+/// variants) to a fresh SNN over 100-tick intervals and watch one neuron
+/// claim the pattern. Returns the rows plus the monitor for Figure 3-style
+/// potential traces.
+pub fn tab2(seed: u64) -> (Vec<Tab2Row>, SpikeMonitor, String) {
+    // The §3.6 example runs 100-tick input intervals.
+    let cfg = PathfinderConfig::default();
+    let snn_cfg = SnnConfig {
+        ticks: 100,
+        ..cfg.snn_config()
+    };
+    let encoder = PixelMatrixEncoder::new(&cfg);
+    let mut net = DiehlCookNetwork::new(snn_cfg, seed).expect("valid SNN config");
+    let mut monitor = SpikeMonitor::new();
+
+    // Table 2's script: six repetitions, three noisy variants, one repeat.
+    let script: Vec<Vec<i16>> = vec![
+        vec![1, 2, 4],
+        vec![1, 2, 4],
+        vec![1, 2, 4],
+        vec![1, 2, 4],
+        vec![1, 2, 4],
+        vec![1, 2, 4],
+        vec![1, 3, 4],
+        vec![1, 2, 5],
+        vec![1, 4, 2],
+        vec![1, 3, 6],
+        vec![1, 2, 4],
+    ];
+    let mut rows = Vec::with_capacity(script.len());
+    for pattern in &script {
+        let rates = encoder.encode(pattern);
+        let out = net.present_monitored(&rates, true, &mut monitor);
+        rows.push(Tab2Row {
+            pattern: pattern.clone(),
+            firing_neuron: out.winner,
+            firing_tick: out.first_fire_tick,
+            runner_up_potential: out.runner_up_potential,
+        });
+    }
+
+    let mut t = TextTable::new(
+        "Table 2: SNN firing/learning behaviour on the scripted patterns of §3.6",
+        &["input pattern", "firing neuron", "firing tick", "runner-up potential"],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:?}", r.pattern),
+            r.firing_neuron
+                .map_or("-".to_string(), |n| n.to_string()),
+            r.firing_tick.map_or("-".to_string(), |t| t.to_string()),
+            format!("{:.1}", r.runner_up_potential),
+        ]);
+    }
+    (rows, monitor, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_produces_rates_in_range() {
+        let sc = Scenario::with_loads(2500);
+        let (rows, text) = tab1(&sc, &[Workload::Sphinx]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].comparisons > 0, "some queries should fire");
+        assert!((0.0..=1.0).contains(&rows[0].match_rate));
+        assert!(text.contains("Table 1"));
+    }
+
+    #[test]
+    fn tab2_pattern_claims_a_neuron() {
+        let (rows, monitor, text) = tab2(7);
+        assert_eq!(rows.len(), 11);
+        assert!(text.contains("Table 2"));
+        // The repeated {1,2,4} pattern should settle on a stable winner.
+        let winners: Vec<Option<usize>> =
+            rows[..6].iter().map(|r| r.firing_neuron).collect();
+        let trained = winners.iter().rev().flatten().next().copied();
+        assert!(trained.is_some(), "pattern should trigger firing: {winners:?}");
+        let stable = winners
+            .iter()
+            .filter(|w| **w == trained)
+            .count();
+        assert!(stable >= 3, "winner should recur: {winners:?}");
+        // Monitor recorded 11 intervals of 100 ticks.
+        assert_eq!(monitor.interval_starts().len(), 11);
+        assert_eq!(monitor.ticks(), 1100);
+    }
+}

@@ -1,0 +1,242 @@
+//! The PATHFINDER parameter sweeps: Figure 5 (delta range), Figure 6
+//! (neuron count x label count), Figure 7 (1-tick vs 32-tick), Figure 8
+//! (STDP duty cycle), and Figure 9 (variant ladder).
+
+use pathfinder_core::{PathfinderConfig, Readout, StdpDutyCycle, Variant};
+use pathfinder_traces::Workload;
+
+use crate::metrics::Evaluation;
+use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::table::{f3, pct, TextTable};
+
+/// One sweep cell: a configuration label and its per-workload evaluations.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Configuration label (e.g. "range 63", "25 neurons / 2 labels").
+    pub label: String,
+    /// Per-workload results, in the order of the sweep's workload list.
+    pub evals: Vec<Evaluation>,
+}
+
+impl SweepPoint {
+    /// Mean IPC across workloads.
+    pub fn mean_ipc(&self) -> f64 {
+        crate::metrics::mean(&self.evals, |e| e.ipc())
+    }
+
+    /// Mean accuracy across workloads.
+    pub fn mean_accuracy(&self) -> f64 {
+        crate::metrics::mean(&self.evals, |e| e.accuracy())
+    }
+
+    /// Mean coverage across workloads.
+    pub fn mean_coverage(&self) -> f64 {
+        crate::metrics::mean(&self.evals, |e| e.coverage())
+    }
+}
+
+/// Sweeps PATHFINDER configurations over workloads, reusing traces and
+/// baselines across configurations.
+pub fn sweep(
+    scenario: &Scenario,
+    workloads: &[Workload],
+    configs: &[(String, PathfinderConfig)],
+) -> Vec<SweepPoint> {
+    // One pass per workload (parallel), evaluating every config on the same
+    // trace/baseline; then transpose into per-config sweep points.
+    let per_w: Vec<Vec<Evaluation>> = per_workload(workloads, |w| {
+        let trace = scenario.trace(w);
+        let baseline = scenario.baseline_misses(&trace);
+        configs
+            .iter()
+            .map(|(_, cfg)| {
+                scenario.evaluate(&PrefetcherKind::Pathfinder(*cfg), w, &trace, baseline)
+            })
+            .collect()
+    });
+    configs
+        .iter()
+        .enumerate()
+        .map(|(ci, (label, _))| SweepPoint {
+            label: label.clone(),
+            evals: per_w.iter().map(|ws| ws[ci].clone()).collect(),
+        })
+        .collect()
+}
+
+fn render_sweep(title: &str, workloads: &[Workload], points: &[SweepPoint]) -> String {
+    let mut header = vec!["config"];
+    let names: Vec<&str> = workloads.iter().map(|w| w.trace_name()).collect();
+    header.extend(names.iter().copied());
+    header.push("avg IPC");
+    header.push("avg acc");
+    header.push("avg cov");
+    let mut t = TextTable::new(title, &header);
+    for p in points {
+        let mut row = vec![p.label.clone()];
+        row.extend(p.evals.iter().map(|e| f3(e.ipc())));
+        row.push(f3(p.mean_ipc()));
+        row.push(pct(p.mean_accuracy()));
+        row.push(pct(p.mean_coverage()));
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Figure 5: delta range sweep (pixel-row widths 31, 63, 127) at 50 neurons
+/// and a 32-tick interval.
+pub fn fig5(scenario: &Scenario, workloads: &[Workload]) -> (Vec<SweepPoint>, String) {
+    let configs: Vec<(String, PathfinderConfig)> = [15u8, 31, 63]
+        .iter()
+        .map(|&range| {
+            (
+                format!("range {} (D={})", range, 2 * range as usize + 1),
+                PathfinderConfig {
+                    delta_range: range,
+                    ..PathfinderConfig::default()
+                },
+            )
+        })
+        .collect();
+    let points = sweep(scenario, workloads, &configs);
+    let text = render_sweep(
+        "Figure 5: PATHFINDER vs delta range (50 neurons, 32 ticks)",
+        workloads,
+        &points,
+    );
+    (points, text)
+}
+
+/// Figure 6: neuron-count sweep (10..=100) for the 1-label and 2-label
+/// configurations.
+pub fn fig6(scenario: &Scenario, workloads: &[Workload]) -> (Vec<SweepPoint>, String) {
+    let mut configs = Vec::new();
+    for &labels in &[2usize, 1] {
+        for &n in &[10usize, 25, 50, 75, 100] {
+            configs.push((
+                format!("{n} neurons / {labels} label"),
+                PathfinderConfig {
+                    neurons: n,
+                    labels_per_neuron: labels,
+                    ..PathfinderConfig::default()
+                },
+            ));
+        }
+    }
+    let points = sweep(scenario, workloads, &configs);
+    let text = render_sweep(
+        "Figure 6: PATHFINDER vs neuron count (1-label vs 2-label)",
+        workloads,
+        &points,
+    );
+    (points, text)
+}
+
+/// Figure 7: IPC of the 1-tick approximation relative to the 32-tick
+/// full interval.
+pub fn fig7(scenario: &Scenario, workloads: &[Workload]) -> (Vec<SweepPoint>, String) {
+    let configs = vec![
+        (
+            "32-tick".to_string(),
+            PathfinderConfig {
+                readout: Readout::FullInterval,
+                ..PathfinderConfig::default()
+            },
+        ),
+        (
+            "1-tick".to_string(),
+            PathfinderConfig {
+                readout: Readout::OneTick,
+                ..PathfinderConfig::default()
+            },
+        ),
+    ];
+    let points = sweep(scenario, workloads, &configs);
+    let mut text = render_sweep(
+        "Figure 7: 1-tick approximation vs full 32-tick interval",
+        workloads,
+        &points,
+    );
+    // The paper plots the per-workload IPC delta of 1-tick over 32-tick.
+    let mut t = TextTable::new(
+        "Figure 7 (derived): IPC improvement of 1-tick over 32-tick",
+        &["trace", "improvement"],
+    );
+    for (i, w) in workloads.iter().enumerate() {
+        let full = points[0].evals[i].ipc();
+        let one = points[1].evals[i].ipc();
+        t.row(vec![
+            w.trace_name().to_string(),
+            pct(one / full.max(1e-9) - 1.0),
+        ]);
+    }
+    text.push('\n');
+    text.push_str(&t.render());
+    (points, text)
+}
+
+/// Figure 8: STDP duty-cycling — learning on for the first K of every 5000
+/// accesses.
+pub fn fig8(scenario: &Scenario, workloads: &[Workload]) -> (Vec<SweepPoint>, String) {
+    let mut configs = vec![("always on".to_string(), PathfinderConfig::default())];
+    for &on in &[10u64, 20, 50, 100, 1000, 2000, 4000] {
+        configs.push((
+            format!("first {on} of 5000"),
+            PathfinderConfig {
+                stdp_duty: StdpDutyCycle::first_n_of_5000(on),
+                ..PathfinderConfig::default()
+            },
+        ));
+    }
+    let points = sweep(scenario, workloads, &configs);
+    let text = render_sweep(
+        "Figure 8: periodic STDP (learning on for the first K of every 5K accesses)",
+        workloads,
+        &points,
+    );
+    (points, text)
+}
+
+/// Figure 9: the implementation-variant ladder.
+pub fn fig9(scenario: &Scenario, workloads: &[Workload]) -> (Vec<SweepPoint>, String) {
+    let configs: Vec<(String, PathfinderConfig)> = Variant::ALL
+        .iter()
+        .map(|v| (v.label().to_string(), v.config()))
+        .collect();
+    let points = sweep(scenario, workloads, &configs);
+    let text = render_sweep("Figure 9: PATHFINDER variants", workloads, &points);
+    (points, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reuses_traces_and_orders_points() {
+        let sc = Scenario::with_loads(1200);
+        let (points, text) = fig5(&sc, &[Workload::Sphinx]);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].label.contains("range 15"));
+        assert!(text.contains("Figure 5"));
+        for p in &points {
+            assert_eq!(p.evals.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fig7_reports_both_modes() {
+        let sc = Scenario::with_loads(1200);
+        let (points, text) = fig7(&sc, &[Workload::Soplex]);
+        assert_eq!(points.len(), 2);
+        assert!(text.contains("1-tick"));
+        assert!(points.iter().all(|p| p.mean_ipc() > 0.0));
+    }
+
+    #[test]
+    fn fig9_covers_all_variants() {
+        let sc = Scenario::with_loads(800);
+        let (points, _) = fig9(&sc, &[Workload::Sphinx]);
+        assert_eq!(points.len(), Variant::ALL.len());
+    }
+}

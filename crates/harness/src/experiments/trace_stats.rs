@@ -1,0 +1,196 @@
+//! Trace-statistics experiments: Table 5 (workload inventory), Table 7
+//! (delta-range population), and Table 8 (per-1K-access delta diversity).
+
+use std::collections::HashMap;
+
+use pathfinder_sim::Trace;
+use pathfinder_traces::Workload;
+
+use crate::runner::{per_workload, Scenario};
+use crate::table::{count, TextTable};
+
+/// Renders Table 5: the workload inventory with instruction counts.
+pub fn tab5(scenario: &Scenario) -> String {
+    let mut t = TextTable::new(
+        "Table 5: tested workloads",
+        &["suite", "trace", "total instructions (at this scale)"],
+    );
+    for w in Workload::ALL {
+        let instr = scenario.loads as u64 * w.instructions_per_load();
+        t.row(vec![
+            w.suite().to_string(),
+            w.trace_name().to_string(),
+            format!("{}M", instr / 1_000_000),
+        ]);
+    }
+    t.render()
+}
+
+/// One Table 7 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Tab7Row {
+    /// Workload measured.
+    pub workload: Workload,
+    /// Consecutive-access block deltas with |delta| < 31.
+    pub within_31: u64,
+    /// Consecutive-access block deltas with |delta| < 15.
+    pub within_15: u64,
+    /// Total loads examined.
+    pub loads: u64,
+}
+
+/// Table 7: how many consecutive-access deltas fall inside the smaller
+/// delta ranges — the coverage/cost tradeoff behind Figure 5.
+pub fn tab7(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab7Row>, String) {
+    let rows = per_workload(workloads, |w| {
+        let trace = scenario.trace(w);
+        let mut within_31 = 0u64;
+        let mut within_15 = 0u64;
+        for pair in trace.accesses().windows(2) {
+            let d = pair[0].block().delta(pair[1].block());
+            if d.abs() < 31 {
+                within_31 += 1;
+            }
+            if d.abs() < 15 {
+                within_15 += 1;
+            }
+        }
+        Tab7Row {
+            workload: w,
+            within_31,
+            within_15,
+            loads: trace.len() as u64,
+        }
+    });
+    let mut t = TextTable::new(
+        "Table 7: deltas within range, per trace",
+        &["trace", "#deltas in (-31,31)", "#deltas in (-15,15)", "loads"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.trace_name().to_string(),
+            count(r.within_31),
+            count(r.within_15),
+            count(r.loads),
+        ]);
+    }
+    (rows, t.render())
+}
+
+/// One Table 8 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Tab8Row {
+    /// Workload measured.
+    pub workload: Workload,
+    /// Average same-(PC,page) delta events per 1K accesses.
+    pub avg_deltas: f64,
+    /// Average distinct delta values per 1K accesses.
+    pub avg_distinct: f64,
+    /// Average summed occurrences of the top-5 distinct deltas per 1K.
+    pub avg_top5: f64,
+}
+
+/// Computes Table 8's per-window statistics for one trace.
+pub fn tab8_stats(trace: &Trace) -> (f64, f64, f64) {
+    const WINDOW: usize = 1000;
+    let mut window_deltas: Vec<i16> = Vec::new();
+    let mut last: HashMap<(u64, u64), u8> = HashMap::new();
+    let mut sums = (0.0f64, 0.0f64, 0.0f64);
+    let mut windows = 0usize;
+
+    for (i, a) in trace.iter().enumerate() {
+        let key = (a.pc.raw(), a.vaddr.page().0);
+        let offset = a.vaddr.page_offset_blocks();
+        if let Some(prev) = last.insert(key, offset) {
+            let d = offset as i16 - prev as i16;
+            if d != 0 {
+                window_deltas.push(d);
+            }
+        }
+        if (i + 1) % WINDOW == 0 {
+            let mut counts: HashMap<i16, usize> = HashMap::new();
+            for &d in &window_deltas {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+            let mut freq: Vec<usize> = counts.values().copied().collect();
+            freq.sort_unstable_by(|a, b| b.cmp(a));
+            sums.0 += window_deltas.len() as f64;
+            sums.1 += counts.len() as f64;
+            sums.2 += freq.iter().take(5).sum::<usize>() as f64;
+            windows += 1;
+            window_deltas.clear();
+        }
+    }
+    if windows == 0 {
+        (0.0, 0.0, 0.0)
+    } else {
+        let n = windows as f64;
+        (sums.0 / n, sums.1 / n, sums.2 / n)
+    }
+}
+
+/// Table 8: the delta-diversity statistics that explain why a small neuron
+/// count with 2 labels suffices (§5).
+pub fn tab8(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab8Row>, String) {
+    let rows = per_workload(workloads, |w| {
+        let trace = scenario.trace(w);
+        let (avg_deltas, avg_distinct, avg_top5) = tab8_stats(&trace);
+        Tab8Row {
+            workload: w,
+            avg_deltas,
+            avg_distinct,
+            avg_top5,
+        }
+    });
+    let mut t = TextTable::new(
+        "Table 8: per-1K-access delta statistics (PC/page-qualified)",
+        &["trace", "avg #deltas", "avg #distinct deltas", "top-5 occurrences"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.trace_name().to_string(),
+            format!("{:.0}", r.avg_deltas),
+            format!("{:.0}", r.avg_distinct),
+            format!("{:.0}", r.avg_top5),
+        ]);
+    }
+    (rows, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathfinder_sim::MemoryAccess;
+
+    #[test]
+    fn tab7_counts_ranges() {
+        let sc = Scenario::with_loads(5000);
+        let (rows, text) = tab7(&sc, &[Workload::Sphinx, Workload::Mcf]);
+        assert_eq!(rows.len(), 2);
+        // Stream-heavy sphinx has far more small deltas than mcf.
+        assert!(rows[0].within_15 > rows[1].within_15);
+        assert!(rows[0].within_31 >= rows[0].within_15);
+        assert!(text.contains("Table 7"));
+    }
+
+    #[test]
+    fn tab8_stats_on_synthetic_stream() {
+        // One PC walking one page with +1 deltas: every access after the
+        // first yields a delta of 1; distinct = 1; top5 = all.
+        let trace: Trace = (0..4000u64)
+            .map(|i| MemoryAccess::new(i, 0x400, (i % 60) * 64))
+            .collect();
+        let (avg, distinct, top5) = tab8_stats(&trace);
+        assert!(avg > 900.0, "avg {avg}");
+        assert!(distinct <= 2.5, "distinct {distinct}");
+        assert!((top5 - avg).abs() < 1.0, "top5 {top5} vs avg {avg}");
+    }
+
+    #[test]
+    fn tab5_lists_all_workloads() {
+        let text = tab5(&Scenario::default());
+        for w in Workload::ALL {
+            assert!(text.contains(w.trace_name()), "{w}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # pathfinder-harness
+//!
+//! The experiment harness regenerating every table and figure in the
+//! PATHFINDER paper's evaluation:
+//!
+//! * [`experiments::fig4`] — Figure 4a/b/c (IPC / accuracy / coverage of all
+//!   prefetchers) and Table 6 (issued prefetches).
+//! * [`experiments::sweeps`] — Figures 5-9 (delta range, neuron count,
+//!   1-tick approximation, STDP duty cycle, variant ladder).
+//! * [`experiments::snn_analysis`] — Table 1 (1-tick match rate) and
+//!   Table 2 / Figure 3 (the §3.6 learning demonstration).
+//! * [`experiments::trace_stats`] — Tables 5, 7, 8 (workload inventory and
+//!   delta statistics).
+//! * [`experiments::hardware`] — Table 9 and the §3.5 cost summary.
+//!
+//! The `repro` binary drives all of them:
+//!
+//! ```text
+//! cargo run --release -p pathfinder-harness --bin repro -- all --loads 100000
+//! ```
+//!
+//! ## Library quick start
+//!
+//! ```
+//! use pathfinder_harness::runner::{PrefetcherKind, Scenario};
+//! use pathfinder_traces::Workload;
+//!
+//! let scenario = Scenario::with_loads(2_000);
+//! let evals = scenario.evaluate_all(
+//!     &[PrefetcherKind::NoPrefetch, PrefetcherKind::NextLine],
+//!     Workload::Sphinx,
+//! );
+//! assert!(evals[1].ipc() >= evals[0].ipc());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use metrics::Evaluation;
+pub use runner::{PrefetcherKind, Scenario};
+pub use table::TextTable;

@@ -1,0 +1,299 @@
+//! Scenario setup and prefetcher construction for all experiments.
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher};
+use pathfinder_prefetch::{
+    generate_prefetches, BestOffsetPrefetcher, DeltaLstmConfig, DeltaLstmPrefetcher,
+    EnsemblePrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher, PythiaPrefetcher,
+    SisbPrefetcher, SppPrefetcher, VoyagerConfig, VoyagerPrefetcher,
+};
+use pathfinder_sim::{SimConfig, Simulator, Trace};
+use pathfinder_traces::Workload;
+
+use crate::metrics::Evaluation;
+
+/// A reproducible experiment context: trace scale, seed, and simulator
+/// configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Loads per trace (the paper uses 1M; smaller values keep sweeps
+    /// tractable on a laptop and preserve the comparisons' shape).
+    pub loads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulator configuration (Table 3).
+    pub sim: SimConfig,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            loads: 100_000,
+            seed: 42,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl Scenario {
+    /// Creates a scenario with the given trace length.
+    pub fn with_loads(loads: usize) -> Self {
+        Scenario {
+            loads,
+            ..Scenario::default()
+        }
+    }
+
+    /// Generates the workload's trace at this scenario's scale.
+    pub fn trace(&self, workload: Workload) -> Trace {
+        workload.generate(self.loads, self.seed)
+    }
+
+    /// LLC load misses of a no-prefetch replay (coverage denominator).
+    pub fn baseline_misses(&self, trace: &Trace) -> u64 {
+        Simulator::new(self.sim).run(trace, &[]).llc_misses
+    }
+
+    /// Evaluates one prefetcher on one pre-generated trace.
+    pub fn evaluate(
+        &self,
+        kind: &PrefetcherKind,
+        workload: Workload,
+        trace: &Trace,
+        baseline_misses: u64,
+    ) -> Evaluation {
+        let t0 = std::time::Instant::now();
+        let mut prefetcher = kind.build(self.seed);
+        let schedule = generate_prefetches(
+            prefetcher.as_mut(),
+            trace,
+            self.sim.max_prefetch_degree,
+        );
+        let t_gen = t0.elapsed();
+        let report = Simulator::new(self.sim).run(trace, &schedule);
+        if std::env::var_os("REPRO_TIMING").is_some() {
+            eprintln!(
+                "# timing {:>12} on {:<22} generate {:6.1}s replay {:5.1}s",
+                kind.label(),
+                workload.trace_name(),
+                t_gen.as_secs_f64(),
+                (t0.elapsed() - t_gen).as_secs_f64()
+            );
+        }
+        Evaluation {
+            prefetcher: kind.label().to_string(),
+            workload,
+            report,
+            baseline_misses,
+        }
+    }
+
+    /// Convenience: generate the trace, compute the baseline, and evaluate
+    /// several prefetchers on one workload.
+    pub fn evaluate_all(&self, kinds: &[PrefetcherKind], workload: Workload) -> Vec<Evaluation> {
+        let trace = self.trace(workload);
+        let baseline = self.baseline_misses(&trace);
+        kinds
+            .iter()
+            .map(|k| self.evaluate(k, workload, &trace, baseline))
+            .collect()
+    }
+}
+
+/// Every prefetcher Figure 4 compares, plus parameterized PATHFINDER
+/// configurations for the sweeps.
+#[derive(Debug, Clone)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    NoPrefetch,
+    /// Degree-2 next-line.
+    NextLine,
+    /// Best-Offset with throttling disabled (competition configuration).
+    BestOffset,
+    /// Idealized ISB.
+    Sisb,
+    /// Signature Path Prefetcher.
+    Spp,
+    /// Pythia RL prefetcher (ported to the LLC).
+    Pythia,
+    /// Offline-trained Delta-LSTM.
+    DeltaLstm,
+    /// Offline-trained hierarchical Voyager.
+    Voyager,
+    /// PATHFINDER with an explicit configuration.
+    Pathfinder(PathfinderConfig),
+    /// The paper's best design point: PATHFINDER prioritized, NL and SISB
+    /// filling remaining slots.
+    PathfinderNlSisb(PathfinderConfig),
+    /// Extension (paper future work §5): the same ensemble under a
+    /// dynamic, recent-hit-rate priority policy.
+    DynamicPfNlSisb(PathfinderConfig),
+    /// Extension (paper future work §3.4): PATHFINDER plus the cold-page
+    /// cross-page predictor.
+    PathfinderCrossPage(PathfinderConfig),
+}
+
+impl PrefetcherKind {
+    /// The Figure 4 line-up, in the paper's presentation order.
+    pub fn figure4_lineup() -> Vec<PrefetcherKind> {
+        vec![
+            PrefetcherKind::NoPrefetch,
+            PrefetcherKind::BestOffset,
+            PrefetcherKind::Sisb,
+            PrefetcherKind::Voyager,
+            PrefetcherKind::DeltaLstm,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Pythia,
+            PrefetcherKind::Pathfinder(PathfinderConfig::default()),
+            PrefetcherKind::PathfinderNlSisb(PathfinderConfig::default()),
+        ]
+    }
+
+    /// Display label (matches the paper's figure legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefetcherKind::NoPrefetch => "No Prefetch",
+            PrefetcherKind::NextLine => "NextLine",
+            PrefetcherKind::BestOffset => "BO",
+            PrefetcherKind::Sisb => "SISB",
+            PrefetcherKind::Spp => "SPP",
+            PrefetcherKind::Pythia => "Pythia",
+            PrefetcherKind::DeltaLstm => "Delta-LSTM",
+            PrefetcherKind::Voyager => "Voyager",
+            PrefetcherKind::Pathfinder(_) => "PATHFINDER",
+            PrefetcherKind::PathfinderNlSisb(_) => "PF+NL+SISB",
+            PrefetcherKind::DynamicPfNlSisb(_) => "dyn(PF,NL,SISB)",
+            PrefetcherKind::PathfinderCrossPage(_) => "PF+XPage",
+        }
+    }
+
+    /// Instantiates the prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PATHFINDER configuration fails validation (configurations
+    /// produced by this crate's sweeps are always valid).
+    pub fn build(&self, seed: u64) -> Box<dyn Prefetcher + Send> {
+        match self {
+            PrefetcherKind::NoPrefetch => Box::new(NoPrefetcher::new()),
+            PrefetcherKind::NextLine => Box::new(NextLinePrefetcher::with_degree(2)),
+            PrefetcherKind::BestOffset => Box::new(BestOffsetPrefetcher::new(2)),
+            PrefetcherKind::Sisb => Box::new(SisbPrefetcher::new(2)),
+            PrefetcherKind::Spp => Box::new(SppPrefetcher::new()),
+            PrefetcherKind::Pythia => Box::new(PythiaPrefetcher::new(seed ^ 0x9717)),
+            PrefetcherKind::DeltaLstm => Box::new(DeltaLstmPrefetcher::new(DeltaLstmConfig {
+                seed: seed ^ 0xDE,
+                ..DeltaLstmConfig::default()
+            })),
+            PrefetcherKind::Voyager => Box::new(VoyagerPrefetcher::new(VoyagerConfig {
+                seed: seed ^ 0x70,
+                ..VoyagerConfig::default()
+            })),
+            PrefetcherKind::Pathfinder(cfg) => Box::new(
+                PathfinderPrefetcher::new(PathfinderConfig {
+                    seed: seed ^ cfg.seed,
+                    ..*cfg
+                })
+                .expect("valid pathfinder config"),
+            ),
+            PrefetcherKind::PathfinderNlSisb(cfg) => {
+                let pf = PathfinderPrefetcher::new(PathfinderConfig {
+                    seed: seed ^ cfg.seed,
+                    ..*cfg
+                })
+                .expect("valid pathfinder config");
+                Box::new(
+                    EnsemblePrefetcher::new("PF+NL+SISB", 2)
+                        .with(pf)
+                        .with(NextLinePrefetcher::new())
+                        .with(SisbPrefetcher::new(2)),
+                )
+            }
+            PrefetcherKind::DynamicPfNlSisb(cfg) => {
+                let pf = PathfinderPrefetcher::new(PathfinderConfig {
+                    seed: seed ^ cfg.seed,
+                    ..*cfg
+                })
+                .expect("valid pathfinder config");
+                Box::new(
+                    pathfinder_prefetch::DynamicEnsemblePrefetcher::new("dyn(PF,NL,SISB)", 2)
+                        .with(pf)
+                        .with(NextLinePrefetcher::new())
+                        .with(SisbPrefetcher::new(2)),
+                )
+            }
+            PrefetcherKind::PathfinderCrossPage(cfg) => {
+                let pf = PathfinderPrefetcher::new(PathfinderConfig {
+                    seed: seed ^ cfg.seed,
+                    ..*cfg
+                })
+                .expect("valid pathfinder config");
+                Box::new(
+                    EnsemblePrefetcher::new("PF+XPage", 2)
+                        .with(pf)
+                        .with(pathfinder_core::CrossPagePredictor::new(2)),
+                )
+            }
+        }
+    }
+}
+
+/// Runs `f` over all workloads in parallel and returns the results in
+/// Table 5 order.
+pub fn per_workload<T, F>(workloads: &[Workload], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Workload) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..workloads.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &w) in out.iter_mut().zip(workloads) {
+            let f = &f;
+            s.spawn(move |_| {
+                *slot = Some(f(w));
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter().map(|t| t.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_end_to_end_tiny() {
+        let sc = Scenario::with_loads(6000);
+        let evals = sc.evaluate_all(
+            &[PrefetcherKind::NoPrefetch, PrefetcherKind::NextLine],
+            Workload::Sphinx,
+        );
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].prefetcher, "No Prefetch");
+        assert_eq!(evals[0].issued(), 0);
+        assert!(evals[1].issued() > 0);
+        // Next-line should help the stream-dominated sphinx workload (small
+        // tolerance: at this tiny scale prefetch traffic also contends).
+        assert!(
+            evals[1].ipc() >= evals[0].ipc() * 0.98,
+            "NL {} vs none {}",
+            evals[1].ipc(),
+            evals[0].ipc()
+        );
+    }
+
+    #[test]
+    fn per_workload_preserves_order() {
+        let ws = [Workload::Cc5, Workload::Mcf, Workload::Nutch];
+        let names = per_workload(&ws, |w| w.trace_name().to_string());
+        assert_eq!(names, vec!["cc-5", "605-mcf-s1", "nutch-phase0-core0"]);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        for kind in PrefetcherKind::figure4_lineup() {
+            let p = kind.build(7);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

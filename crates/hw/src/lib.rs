@@ -1,0 +1,25 @@
+//! # pathfinder-hw
+//!
+//! Analytic area/power model for the PATHFINDER hardware (§3.5, Table 9):
+//! per-neuron processing elements with register-file weight buffers, plus
+//! the Training and Inference Table CAMs. Constants are calibrated to the
+//! paper's published Synopsys DC (12 nm) and CACTI anchor points, so the
+//! model reproduces Table 9 and the 0.23 mm² / 0.5 W headline within
+//! rounding.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pathfinder_hw::PathfinderHardware;
+//!
+//! let hw = PathfinderHardware::paper_default();
+//! let e = hw.estimate();
+//! assert!((e.area_mm2 - 0.23).abs() < 0.01);
+//! assert!(e.die_fraction() < 0.01); // < 1% of a Ryzen 2700X die
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+
+pub use model::{reference, scale_node, CamHardware, HwEstimate, PathfinderHardware, SnnHardware};

@@ -1,0 +1,108 @@
+//! The Adam optimizer.
+
+use crate::tensor::Tensor;
+
+/// Adam state shared across the parameter set (per-tensor moments live in
+/// the tensors themselves).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Global step count (for bias correction).
+    t: u64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+impl Adam {
+    /// Creates an optimizer with explicit betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the betas are outside `(0, 1)`.
+    pub fn new(beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in (0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in (0,1)");
+        Adam {
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update to every tensor using its accumulated
+    /// gradient. Gradients are *not* cleared.
+    ///
+    /// Entries whose gradient *and* first moment are both zero are skipped
+    /// ("lazy" Adam): untouched embedding rows cost nothing, which matters
+    /// for the sparse-update models in this workspace.
+    pub fn step(&mut self, params: &mut [&mut Tensor], lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            for i in 0..p.data.len() {
+                let g = p.grad[i];
+                if g == 0.0 && p.m[i] == 0.0 {
+                    continue;
+                }
+                p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
+                p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = p.m[i] / bc1;
+                let v_hat = p.v[i] / bc2;
+                p.data[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, grad = 2(x - 3).
+        let mut x = Tensor::zeros(1, 1);
+        let mut adam = Adam::default();
+        for _ in 0..2000 {
+            x.grad[0] = 2.0 * (x.data[0] - 3.0);
+            adam.step(&mut [&mut x], 0.05);
+        }
+        assert!((x.data[0] - 3.0).abs() < 0.05, "converged to {}", x.data[0]);
+    }
+
+    #[test]
+    fn counts_steps() {
+        let mut x = Tensor::zeros(1, 1);
+        let mut adam = Adam::default();
+        adam.step(&mut [&mut x], 0.1);
+        adam.step(&mut [&mut x], 0.1);
+        assert_eq!(adam.steps(), 2);
+    }
+
+    #[test]
+    fn zero_gradient_is_stationary() {
+        let mut x = Tensor::zeros(1, 1);
+        x.data[0] = 5.0;
+        let mut adam = Adam::default();
+        adam.step(&mut [&mut x], 0.1);
+        assert_eq!(x.data[0], 5.0);
+    }
+}

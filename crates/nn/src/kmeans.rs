@@ -1,0 +1,133 @@
+//! 1-D k-means, used by the Delta-LSTM baseline to cluster memory addresses
+//! by locality before training (the paper follows Hashemi et al.'s
+//! recommendation of 6 clusters per trace).
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Sorted cluster centroids.
+    pub centroids: Vec<f64>,
+}
+
+impl Clustering {
+    /// Runs Lloyd's algorithm on scalar `values` with `k` clusters.
+    ///
+    /// Centroids are seeded at evenly spaced quantiles, which makes the run
+    /// deterministic. Returns `k.min(distinct values)` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `k == 0`.
+    pub fn fit(values: &[f64], k: usize, iterations: usize) -> Self {
+        assert!(!values.is_empty(), "cannot cluster an empty set");
+        assert!(k > 0, "need at least one cluster");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.dedup();
+        let k = k.min(sorted.len());
+
+        // Midpoint-quantile seeding: one seed per k-th of the sorted values.
+        let mut centroids: Vec<f64> = (0..k)
+            .map(|i| sorted[(2 * i + 1) * (sorted.len() - 1) / (2 * k)])
+            .collect();
+        centroids.dedup();
+
+        for _ in 0..iterations {
+            let mut sums = vec![0.0f64; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for &v in values {
+                let c = Self::nearest(&centroids, v);
+                sums[c] += v;
+                counts[c] += 1;
+            }
+            let mut moved = false;
+            for (c, (&s, &n)) in sums.iter().zip(&counts).enumerate() {
+                if n > 0 {
+                    let new = s / n as f64;
+                    if (new - centroids[c]).abs() > 1e-9 {
+                        centroids[c] = new;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite centroids"));
+        Clustering { centroids }
+    }
+
+    fn nearest(centroids: &[f64], v: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &c) in centroids.iter().enumerate() {
+            let d = (v - c).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Cluster index of `v`.
+    pub fn assign(&self, v: f64) -> usize {
+        Self::nearest(&self.centroids, v)
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Whether the clustering has no centroids (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        let mut vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        vals.extend((0..50).map(|i| 1000.0 + i as f64));
+        let c = Clustering::fit(&vals, 2, 20);
+        assert_eq!(c.len(), 2);
+        assert!(c.centroids[0] < 100.0);
+        assert!(c.centroids[1] > 900.0);
+        assert_eq!(c.assign(10.0), 0);
+        assert_eq!(c.assign(1020.0), 1);
+    }
+
+    #[test]
+    fn handles_fewer_distinct_values_than_k() {
+        let vals = vec![1.0, 1.0, 2.0, 2.0];
+        let c = Clustering::fit(&vals, 6, 10);
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let vals: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        assert_eq!(Clustering::fit(&vals, 4, 25), Clustering::fit(&vals, 4, 25));
+    }
+
+    #[test]
+    fn six_cluster_address_use_case() {
+        // Addresses in six well-separated regions, like the Delta-LSTM
+        // clustering step.
+        let vals: Vec<f64> = (0..6)
+            .flat_map(|r| (0..100).map(move |i| (r as f64) * 1e9 + i as f64 * 64.0))
+            .collect();
+        let c = Clustering::fit(&vals, 6, 30);
+        assert_eq!(c.len(), 6);
+        // Every region maps to its own cluster.
+        let ids: std::collections::HashSet<usize> =
+            (0..6).map(|r| c.assign((r as f64) * 1e9 + 50.0 * 64.0)).collect();
+        assert_eq!(ids.len(), 6);
+    }
+}

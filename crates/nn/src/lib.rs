@@ -1,0 +1,40 @@
+//! # pathfinder-nn
+//!
+//! A deliberately small neural-network library — dense/LSTM layers,
+//! softmax cross-entropy, Adam, and 1-D k-means — implementing just enough
+//! machinery for the PATHFINDER reproduction's artificial-neural baselines:
+//!
+//! * **Delta-LSTM** (Hashemi et al.): address clustering (k-means) + a
+//!   2-layer LSTM next-delta classifier trained offline on a trace prefix.
+//! * **Voyager** (Shi et al.): hierarchical page/offset LSTM predictors.
+//!
+//! The point of these baselines in the paper is the *workflow contrast* with
+//! PATHFINDER's on-line STDP (epoch training vs continuous learning), so the
+//! library optimizes for clarity and determinism, not throughput.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pathfinder_nn::{ModelConfig, SequenceClassifier};
+//!
+//! let cfg = ModelConfig { vocab: 16, embed: 8, hidden: 16, layers: 1 };
+//! let mut model = SequenceClassifier::new(cfg, 42);
+//! for _ in 0..150 {
+//!     model.train_step(&[2, 4, 6], 8, 0.01);
+//! }
+//! assert_eq!(model.predict_topk(&[2, 4, 6], 1)[0], 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod kmeans;
+pub mod lstm;
+pub mod model;
+pub mod tensor;
+
+pub use adam::Adam;
+pub use kmeans::Clustering;
+pub use lstm::LstmLayer;
+pub use model::{softmax, ModelConfig, SequenceClassifier};
+pub use tensor::Tensor;

@@ -1,0 +1,275 @@
+//! A token-sequence classifier: embedding → stacked LSTM → dense softmax.
+//!
+//! This is the workhorse behind the Delta-LSTM baseline (two LSTM layers of
+//! 128 units plus a dense layer in the paper; scaled down here) and the
+//! Voyager surrogate's page/offset predictors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::lstm::LstmLayer;
+use crate::tensor::Tensor;
+
+/// Configuration for a [`SequenceClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Token vocabulary size (input and output).
+    pub vocab: usize,
+    /// Embedding width.
+    pub embed: usize,
+    /// Hidden width per LSTM layer.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers (the paper's Delta-LSTM uses 2).
+    pub layers: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            vocab: 128,
+            embed: 32,
+            hidden: 64,
+            layers: 2,
+        }
+    }
+}
+
+/// An LSTM next-token classifier trained with softmax cross-entropy.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_nn::{ModelConfig, SequenceClassifier};
+///
+/// let cfg = ModelConfig { vocab: 8, embed: 4, hidden: 8, layers: 1 };
+/// let mut model = SequenceClassifier::new(cfg, 1);
+/// // Learn the rule "after [1,2,3] comes 4".
+/// for _ in 0..200 {
+///     model.train_step(&[1, 2, 3], 4, 0.01);
+/// }
+/// assert_eq!(model.predict_topk(&[1, 2, 3], 1)[0], 4);
+/// ```
+#[derive(Debug)]
+pub struct SequenceClassifier {
+    cfg: ModelConfig,
+    embedding: Tensor,
+    lstms: Vec<LstmLayer>,
+    out_w: Tensor,
+    out_b: Tensor,
+    adam: Adam,
+}
+
+impl SequenceClassifier {
+    /// Creates a model with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in `cfg` is zero.
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        assert!(
+            cfg.vocab > 0 && cfg.embed > 0 && cfg.hidden > 0 && cfg.layers > 0,
+            "model dimensions must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lstms = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let input = if l == 0 { cfg.embed } else { cfg.hidden };
+            lstms.push(LstmLayer::new(input, cfg.hidden, &mut rng));
+        }
+        SequenceClassifier {
+            embedding: Tensor::xavier(cfg.vocab, cfg.embed, &mut rng),
+            out_w: Tensor::xavier(cfg.vocab, cfg.hidden, &mut rng),
+            out_b: Tensor::zeros(cfg.vocab, 1),
+            lstms,
+            adam: Adam::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward_logits(&mut self, tokens: &[usize]) -> Vec<f32> {
+        let mut seq: Vec<Vec<f32>> = tokens
+            .iter()
+            .map(|&t| self.embedding.row(t % self.cfg.vocab).to_vec())
+            .collect();
+        for lstm in &mut self.lstms {
+            seq = lstm.forward(&seq);
+        }
+        let h_last = seq.last().expect("non-empty sequence");
+        let mut logits = self.out_b.data.clone();
+        self.out_w.matvec_acc(h_last, &mut logits);
+        logits
+    }
+
+    /// Softmax class probabilities for the next token after `tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn predict_probs(&mut self, tokens: &[usize]) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "need at least one input token");
+        softmax(&self.forward_logits(tokens))
+    }
+
+    /// The `k` most likely next tokens, most likely first.
+    pub fn predict_topk(&mut self, tokens: &[usize], k: usize) -> Vec<usize> {
+        let probs = self.predict_probs(tokens);
+        let mut idx: Vec<usize> = (0..probs.len()).collect();
+        idx.sort_unstable_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("finite probs"));
+        idx.truncate(k);
+        idx
+    }
+
+    /// One SGD step on `(tokens → target)`; returns the cross-entropy loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or `target >= vocab`.
+    pub fn train_step(&mut self, tokens: &[usize], target: usize, lr: f32) -> f32 {
+        assert!(!tokens.is_empty(), "need at least one input token");
+        assert!(target < self.cfg.vocab, "target out of vocabulary");
+
+        // Forward with caches.
+        let emb_seq: Vec<Vec<f32>> = tokens
+            .iter()
+            .map(|&t| self.embedding.row(t % self.cfg.vocab).to_vec())
+            .collect();
+        let mut acts: Vec<Vec<Vec<f32>>> = vec![emb_seq];
+        for lstm in &mut self.lstms {
+            let next = lstm.forward(acts.last().expect("layer input"));
+            acts.push(next);
+        }
+        let h_last = acts.last().unwrap().last().unwrap().clone();
+        let mut logits = self.out_b.data.clone();
+        self.out_w.matvec_acc(&h_last, &mut logits);
+        let probs = softmax(&logits);
+        let loss = -(probs[target].max(1e-12)).ln();
+
+        // Backward: dlogits = p - y.
+        let mut dlogits = probs;
+        dlogits[target] -= 1.0;
+        let mut dh_last = vec![0.0f32; self.cfg.hidden];
+        self.out_w
+            .backward_matvec(&h_last, &dlogits, Some(&mut dh_last));
+        for (bg, d) in self.out_b.grad.iter_mut().zip(&dlogits) {
+            *bg += d;
+        }
+
+        // Through the LSTM stack (loss applies only to the final step).
+        let seq_len = tokens.len();
+        let mut d_seq: Vec<Vec<f32>> = vec![vec![0.0; self.cfg.hidden]; seq_len];
+        d_seq[seq_len - 1] = dh_last;
+        for lstm in self.lstms.iter_mut().rev() {
+            d_seq = lstm.backward(&d_seq);
+        }
+        // Into the embedding rows.
+        for (t, d) in tokens.iter().zip(&d_seq) {
+            let row = self.embedding.grad_row_mut(*t % self.cfg.vocab);
+            for (g, di) in row.iter_mut().zip(d) {
+                *g += di;
+            }
+        }
+
+        // Update.
+        let mut params: Vec<&mut Tensor> =
+            vec![&mut self.embedding, &mut self.out_w, &mut self.out_b];
+        for lstm in &mut self.lstms {
+            params.extend(lstm.params_mut());
+        }
+        self.adam.step(&mut params, lr);
+        for p in params {
+            p.zero_grad();
+        }
+        loss
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SequenceClassifier {
+        SequenceClassifier::new(
+            ModelConfig {
+                vocab: 10,
+                embed: 8,
+                hidden: 16,
+                layers: 2,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn learns_a_fixed_mapping() {
+        let mut m = tiny();
+        let examples = [(vec![1usize, 2, 3], 4usize), (vec![5, 5, 5], 6), (vec![2, 4, 6], 8)];
+        for _ in 0..300 {
+            for (seq, tgt) in &examples {
+                m.train_step(seq, *tgt, 0.01);
+            }
+        }
+        for (seq, tgt) in &examples {
+            assert_eq!(m.predict_topk(seq, 1)[0], *tgt, "sequence {seq:?}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut m = tiny();
+        let first = m.train_step(&[1, 2, 3], 4, 0.01);
+        let mut last = first;
+        for _ in 0..100 {
+            last = m.train_step(&[1, 2, 3], 4, 0.01);
+        }
+        assert!(last < first * 0.5, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn topk_orders_by_probability() {
+        let mut m = tiny();
+        for _ in 0..200 {
+            m.train_step(&[3, 3, 3], 7, 0.01);
+        }
+        let top2 = m.predict_topk(&[3, 3, 3], 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0], 7);
+        let probs = m.predict_probs(&[3, 3, 3]);
+        assert!(probs[top2[0]] >= probs[top2[1]]);
+    }
+
+    #[test]
+    fn unseen_input_still_predicts_something() {
+        let mut m = tiny();
+        let p = m.predict_probs(&[9, 0, 9]);
+        assert_eq!(p.len(), 10);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_bad_target() {
+        let mut m = tiny();
+        m.train_step(&[1], 10, 0.01);
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal dense 2-D parameter tensor with gradient and Adam moment
+//! buffers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A row-major `rows x cols` parameter matrix carrying its own gradient and
+/// optimizer state.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    /// Parameter values.
+    pub data: Vec<f32>,
+    /// Accumulated gradient (same layout as `data`).
+    pub grad: Vec<f32>,
+    /// Adam first-moment estimate.
+    pub m: Vec<f32>,
+    /// Adam second-moment estimate.
+    pub v: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; n],
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor with Xavier-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let mut t = Tensor::zeros(rows, cols);
+        let bound = (6.0f32 / (rows + cols) as f32).sqrt();
+        for x in &mut t.data {
+            *x = rng.gen_range(-bound..bound);
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable gradient row view.
+    #[inline]
+    pub fn grad_row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.grad[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y += W x` where `W` is this `rows x cols` tensor and
+    /// `x.len() == cols`, `y.len() == rows`.
+    pub fn matvec_acc(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            y[r] += acc;
+        }
+    }
+
+    /// Accumulates the rank-1 outer-product gradient `grad += dy * x^T` and
+    /// back-propagates `dx += W^T dy`.
+    pub fn backward_matvec(&mut self, x: &[f32], dy: &[f32], dx: Option<&mut [f32]>) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(dy.len(), self.rows);
+        for r in 0..self.rows {
+            let d = dy[r];
+            if d != 0.0 {
+                let g = &mut self.grad[r * self.cols..(r + 1) * self.cols];
+                for (gi, xi) in g.iter_mut().zip(x) {
+                    *gi += d * xi;
+                }
+            }
+        }
+        if let Some(dx) = dx {
+            debug_assert_eq!(dx.len(), self.cols);
+            for r in 0..self.rows {
+                let d = dy[r];
+                if d != 0.0 {
+                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for (dxi, w) in dx.iter_mut().zip(row) {
+                        *dxi += d * w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut t = Tensor::zeros(2, 3);
+        t.data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, 0.5, -1.0];
+        let mut y = [0.0, 10.0];
+        t.matvec_acc(&x, &mut y);
+        assert_eq!(y[0], 1.0 + 1.0 - 3.0);
+        assert_eq!(y[1], 10.0 + 4.0 + 2.5 - 6.0);
+    }
+
+    #[test]
+    fn backward_accumulates_outer_product() {
+        let mut t = Tensor::zeros(2, 2);
+        t.data = vec![1.0, 2.0, 3.0, 4.0];
+        let x = [0.5, -1.0];
+        let dy = [2.0, 1.0];
+        let mut dx = [0.0, 0.0];
+        t.backward_matvec(&x, &dy, Some(&mut dx));
+        // grad = dy ⊗ x
+        assert_eq!(t.grad, vec![1.0, -2.0, 0.5, -1.0]);
+        // dx = W^T dy
+        assert_eq!(dx[0], 1.0 * 2.0 + 3.0 * 1.0);
+        assert_eq!(dx[1], 2.0 * 2.0 + 4.0 * 1.0);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::xavier(16, 16, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(t.data.iter().all(|&x| x.abs() <= bound));
+        assert!(t.data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut t = Tensor::zeros(2, 2);
+        t.grad = vec![1.0; 4];
+        t.zero_grad();
+        assert!(t.grad.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,192 @@
+//! The prefetcher interface shared by PATHFINDER and every baseline.
+
+use pathfinder_sim::{Block, MemoryAccess, PrefetchRequest, Trace};
+
+/// A hardware-prefetcher model.
+///
+/// The competition workflow (§4.1) runs prefetchers *offline* over the load
+/// trace: [`Prefetcher::on_access`] is called once per demand load in trace
+/// order and returns the blocks to prefetch for that trigger. Offline-trained
+/// baselines (Delta-LSTM, Voyager) additionally get the whole trace up front
+/// via [`Prefetcher::prepare`].
+pub trait Prefetcher {
+    /// Human-readable name used in result tables.
+    fn name(&self) -> &str;
+
+    /// One-time preparation before the generation pass. Online prefetchers
+    /// (everything except the LSTM baselines) ignore this.
+    fn prepare(&mut self, trace: &Trace) {
+        let _ = trace;
+    }
+
+    /// Observes one demand access and returns candidate prefetch blocks,
+    /// best first. The harness truncates to the competition's per-access
+    /// degree limit.
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block>;
+}
+
+/// Runs `prefetcher` over `trace` and produces the prefetch schedule for the
+/// timed replay, enforcing the `max_degree` per-access limit (competition
+/// rule: 2) and dropping same-trigger duplicates.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_prefetch::{generate_prefetches, NextLinePrefetcher, Prefetcher};
+/// use pathfinder_sim::{MemoryAccess, Trace};
+///
+/// let trace: Trace = (0..10)
+///     .map(|i| MemoryAccess::new(i, 0x400, i * 64))
+///     .collect();
+/// let mut nl = NextLinePrefetcher::new();
+/// let schedule = generate_prefetches(&mut nl, &trace, 2);
+/// assert_eq!(schedule.len(), 10); // one next-line prefetch per access
+/// ```
+pub fn generate_prefetches(
+    prefetcher: &mut dyn Prefetcher,
+    trace: &Trace,
+    max_degree: usize,
+) -> Vec<PrefetchRequest> {
+    prefetcher.prepare(trace);
+    let mut out = Vec::new();
+    for access in trace {
+        let blocks = prefetcher.on_access(access);
+        let mut seen: Vec<Block> = Vec::with_capacity(max_degree);
+        for b in blocks {
+            if seen.len() >= max_degree {
+                break;
+            }
+            if !seen.contains(&b) {
+                seen.push(b);
+                out.push(PrefetchRequest::new(access.instr_id, b));
+            }
+        }
+    }
+    out
+}
+
+/// The no-prefetching baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl NoPrefetcher {
+    /// Creates the (stateless) no-op prefetcher.
+    pub fn new() -> Self {
+        NoPrefetcher
+    }
+}
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "No Prefetch"
+    }
+
+    fn on_access(&mut self, _access: &MemoryAccess) -> Vec<Block> {
+        Vec::new()
+    }
+}
+
+/// An oracle that prefetches the actual next `degree` distinct future blocks
+/// — an upper bound useful in tests and sanity checks, not a baseline from
+/// the paper.
+#[derive(Debug, Clone, Default)]
+pub struct OraclePrefetcher {
+    future: Vec<Block>,
+    cursor: usize,
+    degree: usize,
+}
+
+impl OraclePrefetcher {
+    /// Creates an oracle issuing `degree` prefetches per access.
+    pub fn new(degree: usize) -> Self {
+        OraclePrefetcher {
+            future: Vec::new(),
+            cursor: 0,
+            degree,
+        }
+    }
+}
+
+impl Prefetcher for OraclePrefetcher {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        self.future = trace.iter().map(|a| a.block()).collect();
+        self.cursor = 0;
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let cur = access.block();
+        let mut out = Vec::with_capacity(self.degree);
+        let mut i = self.cursor + 1;
+        while i < self.future.len() && out.len() < self.degree {
+            let b = self.future[i];
+            if b != cur && !out.contains(&b) {
+                out.push(b);
+            }
+            i += 1;
+        }
+        self.cursor += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(blocks: &[u64]) -> Trace {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| MemoryAccess::new(i as u64, 0x400, b * 64))
+            .collect()
+    }
+
+    #[test]
+    fn no_prefetcher_emits_nothing() {
+        let t = trace(&[1, 2, 3]);
+        let mut p = NoPrefetcher::new();
+        assert!(generate_prefetches(&mut p, &t, 2).is_empty());
+    }
+
+    #[test]
+    fn oracle_predicts_exact_future() {
+        let t = trace(&[10, 20, 30, 40]);
+        let mut p = OraclePrefetcher::new(2);
+        let reqs = generate_prefetches(&mut p, &t, 2);
+        // First access prefetches blocks 20 and 30.
+        assert_eq!(reqs[0].block, Block(20));
+        assert_eq!(reqs[1].block, Block(30));
+        assert_eq!(reqs[0].trigger_instr_id, 0);
+    }
+
+    #[test]
+    fn degree_limit_enforced() {
+        let t = trace(&[1, 2, 3, 4, 5, 6]);
+        let mut p = OraclePrefetcher::new(5);
+        let reqs = generate_prefetches(&mut p, &t, 2);
+        for id in 0..4 {
+            let n = reqs.iter().filter(|r| r.trigger_instr_id == id).count();
+            assert!(n <= 2, "access {id} issued {n} prefetches");
+        }
+    }
+
+    #[test]
+    fn duplicate_blocks_per_trigger_are_dropped() {
+        struct Dup;
+        impl Prefetcher for Dup {
+            fn name(&self) -> &str {
+                "dup"
+            }
+            fn on_access(&mut self, _a: &MemoryAccess) -> Vec<Block> {
+                vec![Block(7), Block(7)]
+            }
+        }
+        let t = trace(&[1]);
+        let reqs = generate_prefetches(&mut Dup, &t, 2);
+        assert_eq!(reqs.len(), 1);
+    }
+}

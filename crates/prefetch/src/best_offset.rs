@@ -1,0 +1,206 @@
+//! Best-Offset prefetching (Michaud, HPCA 2016) — the paper's rule-based
+//! delta baseline, used with prefetch throttling disabled as provided by the
+//! ML Prefetching Competition.
+
+use pathfinder_sim::{Block, MemoryAccess};
+
+use crate::api::Prefetcher;
+
+/// Michaud's offset candidate list: numbers of the form `2^i * 3^j * 5^k`
+/// up to 64, the standard BO configuration.
+pub const BO_OFFSETS: [i64; 26] = [
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
+    60,
+];
+
+const SCORE_MAX: u32 = 31;
+const ROUND_MAX: u32 = 100;
+const BAD_SCORE: u32 = 1;
+const RR_SIZE: usize = 256;
+
+/// The Best-Offset prefetcher.
+///
+/// A learning phase scores each candidate offset `d` by checking, for every
+/// access to block `X`, whether `X - d` was recently requested (i.e. whether
+/// a `d`-offset prefetch issued back then would have been timely). When one
+/// offset reaches [`SCORE_MAX`](self) or the round budget expires, the best
+/// scorer becomes the active prefetch offset for the next phase.
+#[derive(Debug, Clone)]
+pub struct BestOffsetPrefetcher {
+    /// Recent-requests ring buffer.
+    rr: Vec<Block>,
+    rr_pos: usize,
+    scores: Vec<u32>,
+    test_idx: usize,
+    round: u32,
+    best_offset: i64,
+    /// When false the current phase issues no prefetches (best score was
+    /// below [`BAD_SCORE`](self)). Always true when throttling is disabled.
+    active: bool,
+    throttling: bool,
+    degree: usize,
+}
+
+impl BestOffsetPrefetcher {
+    /// Creates a BO prefetcher with the competition configuration
+    /// (throttling disabled, as the paper notes).
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        BestOffsetPrefetcher {
+            rr: Vec::with_capacity(RR_SIZE),
+            rr_pos: 0,
+            scores: vec![0; BO_OFFSETS.len()],
+            test_idx: 0,
+            round: 0,
+            best_offset: 1,
+            active: true,
+            throttling: false,
+            degree,
+        }
+    }
+
+    /// Enables score-based throttling (original paper behaviour): phases
+    /// whose best score is below the bad-score threshold issue nothing.
+    pub fn with_throttling(mut self) -> Self {
+        self.throttling = true;
+        self
+    }
+
+    /// The offset currently used for prefetching.
+    pub fn current_offset(&self) -> i64 {
+        self.best_offset
+    }
+
+    fn rr_contains(&self, b: Block) -> bool {
+        self.rr.contains(&b)
+    }
+
+    fn rr_insert(&mut self, b: Block) {
+        if self.rr.len() < RR_SIZE {
+            self.rr.push(b);
+        } else {
+            self.rr[self.rr_pos] = b;
+            self.rr_pos = (self.rr_pos + 1) % RR_SIZE;
+        }
+    }
+
+    fn finish_phase(&mut self) {
+        let (best_idx, &best_score) = self
+            .scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("non-empty score table");
+        self.best_offset = BO_OFFSETS[best_idx];
+        self.active = !self.throttling || best_score >= BAD_SCORE;
+        self.scores.fill(0);
+        self.round = 0;
+        self.test_idx = 0;
+    }
+}
+
+impl Prefetcher for BestOffsetPrefetcher {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let x = access.block();
+
+        // Learning: test the next candidate offset against the RR table.
+        let d = BO_OFFSETS[self.test_idx];
+        if self.rr_contains(x.offset_by(-d)) {
+            self.scores[self.test_idx] += 1;
+            if self.scores[self.test_idx] >= SCORE_MAX {
+                self.finish_phase();
+            }
+        }
+        if self.round <= ROUND_MAX {
+            self.test_idx += 1;
+            if self.test_idx == BO_OFFSETS.len() {
+                self.test_idx = 0;
+                self.round += 1;
+                if self.round >= ROUND_MAX {
+                    self.finish_phase();
+                }
+            }
+        }
+
+        self.rr_insert(x);
+
+        if self.active {
+            (1..=self.degree as i64)
+                .map(|k| x.offset_by(self.best_offset * k))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::new(i, 0x400, block * 64)
+    }
+
+    #[test]
+    fn learns_a_constant_offset() {
+        let mut bo = BestOffsetPrefetcher::new(1);
+        // Stream with stride 3 blocks; offset 3 should win a phase.
+        let mut i = 0u64;
+        for rep in 0..4000u64 {
+            bo.on_access(&access(i, 1000 + rep * 3));
+            i += 1;
+        }
+        assert_eq!(bo.current_offset(), 3);
+    }
+
+    #[test]
+    fn prefetches_with_learned_offset() {
+        let mut bo = BestOffsetPrefetcher::new(1);
+        for rep in 0..4000u64 {
+            bo.on_access(&access(rep, 1000 + rep * 2));
+        }
+        let out = bo.on_access(&access(9000, 20_000));
+        assert_eq!(out, vec![Block(20_002)]);
+    }
+
+    #[test]
+    fn degree_two_extends_offset() {
+        let mut bo = BestOffsetPrefetcher::new(2);
+        for rep in 0..4000u64 {
+            bo.on_access(&access(rep, 1000 + rep * 2));
+        }
+        let out = bo.on_access(&access(9000, 20_000));
+        assert_eq!(out, vec![Block(20_002), Block(20_004)]);
+    }
+
+    #[test]
+    fn throttling_disables_on_random_stream() {
+        let mut bo = BestOffsetPrefetcher::new(1).with_throttling();
+        // Pseudo-random blocks: no offset correlates.
+        let mut x = 12345u64;
+        for i in 0..6000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            bo.on_access(&access(i, (x >> 20) & 0xFFFFFF));
+        }
+        // After at least one full phase, the prefetcher should have gone
+        // inactive (scores all ~0).
+        let out = bo.on_access(&access(99999, 42));
+        assert!(out.is_empty(), "random stream should throttle BO off");
+    }
+
+    #[test]
+    fn competition_config_never_throttles() {
+        let mut bo = BestOffsetPrefetcher::new(1);
+        let mut x = 9u64;
+        for i in 0..6000u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            bo.on_access(&access(i, (x >> 20) & 0xFFFFFF));
+        }
+        assert!(!bo.on_access(&access(99999, 42)).is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! The Delta-LSTM baseline (Hashemi et al., "Learning Memory Access
+//! Patterns", ICML 2018), as configured in §4.3: addresses are k-means
+//! clustered by locality (6 clusters), and a per-cluster LSTM is trained
+//! offline on the first 10% of the cluster's accesses to predict the next
+//! address delta. Inference then runs over the full trace.
+//!
+//! The paper highlights this baseline's structural weakness — deltas unseen
+//! during the training prefix cannot be predicted — which emerges naturally
+//! here because the delta vocabulary is frozen after training.
+
+use std::collections::HashMap;
+
+use pathfinder_nn::{Clustering, ModelConfig, SequenceClassifier};
+use pathfinder_sim::{Block, MemoryAccess, Trace};
+
+use crate::api::Prefetcher;
+
+/// Delta-LSTM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaLstmConfig {
+    /// Number of address clusters (paper recommendation: 6).
+    pub clusters: usize,
+    /// Delta-history length fed to the LSTM.
+    pub history: usize,
+    /// Fraction of each cluster's accesses used for offline training
+    /// (§4.3: the initial 10%).
+    pub train_fraction: f64,
+    /// Most-frequent-delta vocabulary size per cluster (index 0 is OOV).
+    pub vocab: usize,
+    /// Training epochs over the prefix.
+    pub epochs: usize,
+    /// LSTM width. The paper uses two 128-unit layers; the default here is
+    /// scaled down for tractable CPU-only runs (see DESIGN.md).
+    pub hidden: usize,
+    /// Stacked LSTM layers (paper: 2).
+    pub layers: usize,
+    /// Prefetch degree.
+    pub degree: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for DeltaLstmConfig {
+    fn default() -> Self {
+        DeltaLstmConfig {
+            clusters: 6,
+            history: 3,
+            train_fraction: 0.10,
+            vocab: 129,
+            epochs: 1,
+            hidden: 32,
+            layers: 2,
+            degree: 2,
+            seed: 0xDE17A,
+        }
+    }
+}
+
+struct ClusterModel {
+    model: SequenceClassifier,
+    /// delta -> token (1..vocab); token 0 is out-of-vocabulary.
+    token_of: HashMap<i64, usize>,
+    /// token -> delta.
+    delta_of: Vec<i64>,
+    /// Rolling token history during inference.
+    history: Vec<usize>,
+    /// Memoized top-k predictions: the model is frozen after training and
+    /// delta histories repeat heavily, so inference collapses to a lookup.
+    memo: HashMap<Vec<usize>, Vec<usize>>,
+}
+
+/// The offline-trained Delta-LSTM prefetcher.
+pub struct DeltaLstmPrefetcher {
+    config: DeltaLstmConfig,
+    clustering: Option<Clustering>,
+    models: Vec<ClusterModel>,
+    /// Per-cluster last block, for delta computation at inference.
+    last_block: Vec<Option<Block>>,
+    /// Deltas seen at inference that were not in the training vocabulary.
+    unseen_deltas: u64,
+}
+
+impl std::fmt::Debug for DeltaLstmPrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaLstmPrefetcher")
+            .field("config", &self.config)
+            .field("models", &self.models.len())
+            .field("unseen_deltas", &self.unseen_deltas)
+            .finish()
+    }
+}
+
+impl DeltaLstmPrefetcher {
+    /// Creates an untrained Delta-LSTM; call via [`Prefetcher::prepare`]
+    /// (done automatically by `generate_prefetches`) before inference.
+    pub fn new(config: DeltaLstmConfig) -> Self {
+        DeltaLstmPrefetcher {
+            config,
+            clustering: None,
+            models: Vec::new(),
+            last_block: Vec::new(),
+            unseen_deltas: 0,
+        }
+    }
+
+    /// Inference-time deltas that fell outside the trained vocabulary —
+    /// the effect §5 quantifies when discussing training on 30% of a trace.
+    pub fn unseen_deltas(&self) -> u64 {
+        self.unseen_deltas
+    }
+
+    fn cluster_of(&self, addr: u64) -> usize {
+        self.clustering
+            .as_ref()
+            .map_or(0, |c| c.assign(addr as f64))
+    }
+}
+
+impl Prefetcher for DeltaLstmPrefetcher {
+    fn name(&self) -> &str {
+        "Delta-LSTM"
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        let cfg = self.config;
+        // 1. Cluster addresses by locality.
+        let addrs: Vec<f64> = trace.iter().map(|a| a.vaddr.raw() as f64).collect();
+        let clustering = Clustering::fit(&addrs, cfg.clusters, 15);
+        let k = clustering.len();
+
+        // 2. Split accesses into per-cluster streams.
+        let mut streams: Vec<Vec<Block>> = vec![Vec::new(); k];
+        for a in trace {
+            let c = clustering.assign(a.vaddr.raw() as f64);
+            streams[c].push(a.block());
+        }
+
+        // 3. Per cluster: build the delta vocabulary from the training
+        //    prefix and train the LSTM.
+        self.models.clear();
+        for (ci, stream) in streams.iter().enumerate() {
+            let train_len = ((stream.len() as f64 * cfg.train_fraction) as usize).max(
+                cfg.history + 2, // need at least one training example
+            );
+            let prefix = &stream[..train_len.min(stream.len())];
+            let deltas: Vec<i64> = prefix.windows(2).map(|w| w[0].delta(w[1])).collect();
+
+            // Top-(vocab-1) most common deltas.
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for &d in &deltas {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+            let mut by_freq: Vec<(i64, usize)> = counts.into_iter().collect();
+            by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            by_freq.truncate(cfg.vocab - 1);
+
+            let mut token_of = HashMap::new();
+            let mut delta_of = vec![0i64]; // token 0 = OOV
+            for (tok, (d, _)) in by_freq.iter().enumerate() {
+                token_of.insert(*d, tok + 1);
+                delta_of.push(*d);
+            }
+
+            let mut model = SequenceClassifier::new(
+                ModelConfig {
+                    vocab: cfg.vocab,
+                    embed: 16,
+                    hidden: cfg.hidden,
+                    layers: cfg.layers,
+                },
+                cfg.seed ^ ci as u64,
+            );
+            let tokens: Vec<usize> = deltas
+                .iter()
+                .map(|d| *token_of.get(d).unwrap_or(&0))
+                .collect();
+            for _ in 0..cfg.epochs {
+                for w in tokens.windows(cfg.history + 1) {
+                    let (hist, tgt) = w.split_at(cfg.history);
+                    model.train_step(hist, tgt[0], 0.01);
+                }
+            }
+            self.models.push(ClusterModel {
+                model,
+                token_of,
+                delta_of,
+                history: Vec::new(),
+                memo: HashMap::new(),
+            });
+        }
+        self.last_block = vec![None; k];
+        self.clustering = Some(clustering);
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        if self.models.is_empty() {
+            return Vec::new();
+        }
+        let c = self.cluster_of(access.vaddr.raw());
+        let block = access.block();
+        let degree = self.config.degree;
+        let history_len = self.config.history;
+
+        let prev = self.last_block[c].replace(block);
+        let Some(prev) = prev else {
+            return Vec::new();
+        };
+        let delta = prev.delta(block);
+        let cm = &mut self.models[c];
+        let token = match cm.token_of.get(&delta) {
+            Some(&t) => t,
+            None => {
+                self.unseen_deltas += 1;
+                0
+            }
+        };
+        cm.history.push(token);
+        if cm.history.len() > history_len {
+            cm.history.remove(0);
+        }
+        if cm.history.len() < history_len {
+            return Vec::new();
+        }
+
+        let hist = cm.history.clone();
+        let top = match cm.memo.get(&hist) {
+            Some(t) => t.clone(),
+            None => {
+                let t = cm.model.predict_topk(&hist, degree + 2);
+                if cm.memo.len() > 1_000_000 {
+                    cm.memo.clear();
+                }
+                cm.memo.insert(hist.clone(), t.clone());
+                t
+            }
+        };
+        top.into_iter()
+            // Token 0 is OOV and tokens past the learned vocabulary have no
+            // delta meaning (the model's logit space covers the full
+            // configured vocab even when fewer deltas were seen).
+            .filter(|&t| t != 0 && t < cm.delta_of.len())
+            .take(degree)
+            .map(|t| block.offset_by(cm.delta_of[t]))
+            .filter(|&b| b != block)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::generate_prefetches;
+
+    fn strided_trace(n: u64, stride: u64) -> Trace {
+        (0..n)
+            .map(|i| MemoryAccess::new(i, 0x400, 0x100_0000 + i * stride * 64))
+            .collect()
+    }
+
+    fn fast_cfg() -> DeltaLstmConfig {
+        DeltaLstmConfig {
+            clusters: 2,
+            hidden: 16,
+            layers: 1,
+            vocab: 17,
+            ..DeltaLstmConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_a_constant_stride() {
+        let trace = strided_trace(3000, 2);
+        let mut p = DeltaLstmPrefetcher::new(fast_cfg());
+        let reqs = generate_prefetches(&mut p, &trace, 2);
+        // After the first H accesses, predictions should be block+2.
+        let hits = reqs
+            .iter()
+            .filter(|r| {
+                let trigger = r.trigger_instr_id;
+                r.block.0 == trace.accesses()[trigger as usize].block().0 + 2
+            })
+            .count();
+        assert!(
+            hits > reqs.len() / 3,
+            "stride should dominate predictions: {hits}/{}",
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn counts_unseen_deltas() {
+        // Train prefix (10%) only sees stride 1; the rest switches to a
+        // stride absent from the vocabulary... build it manually.
+        let mut accesses = Vec::new();
+        let mut block = 0u64;
+        for i in 0..2000u64 {
+            block += if i < 400 { 1 } else { 37 + (i % 5) };
+            accesses.push(MemoryAccess::new(i, 0x400, block * 64));
+        }
+        let trace = Trace::from_accesses(accesses);
+        let mut p = DeltaLstmPrefetcher::new(DeltaLstmConfig {
+            clusters: 1,
+            hidden: 8,
+            layers: 1,
+            vocab: 9,
+            ..DeltaLstmConfig::default()
+        });
+        let _ = generate_prefetches(&mut p, &trace, 2);
+        assert!(
+            p.unseen_deltas() > 500,
+            "novel deltas should be flagged, got {}",
+            p.unseen_deltas()
+        );
+    }
+
+    #[test]
+    fn no_predictions_before_history_fills() {
+        let trace = strided_trace(100, 1);
+        let mut p = DeltaLstmPrefetcher::new(fast_cfg());
+        p.prepare(&trace);
+        let first = p.on_access(&trace.accesses()[0]);
+        assert!(first.is_empty(), "first access has no delta yet");
+    }
+}

@@ -1,0 +1,397 @@
+//! Priority-fill prefetcher ensembles (§3.4 "Ensemble of Prefetchers").
+//!
+//! The paper's best design point combines PATHFINDER with Next-Line and
+//! SISB: the primary prefetcher's predictions are taken first, and lower-
+//! priority members fill whatever slots of the per-access budget remain.
+
+use pathfinder_sim::{Block, MemoryAccess, Trace};
+
+use crate::api::Prefetcher;
+
+/// A fixed-priority ensemble: members are consulted in order and each may
+/// fill remaining prefetch slots.
+pub struct EnsemblePrefetcher {
+    name: String,
+    members: Vec<Box<dyn Prefetcher + Send>>,
+    budget: usize,
+    /// Per-member count of slots actually used (for the 80-99% neural-use
+    /// statistic reported in §5).
+    slots_used: Vec<u64>,
+}
+
+impl std::fmt::Debug for EnsemblePrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsemblePrefetcher")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .field("budget", &self.budget)
+            .field("slots_used", &self.slots_used)
+            .finish()
+    }
+}
+
+impl EnsemblePrefetcher {
+    /// Creates an ensemble with a per-access prefetch budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(name: impl Into<String>, budget: usize) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        EnsemblePrefetcher {
+            name: name.into(),
+            members: Vec::new(),
+            budget,
+            slots_used: Vec::new(),
+        }
+    }
+
+    /// Appends a member at the lowest priority so far; returns `self` for
+    /// chaining.
+    pub fn with(mut self, member: impl Prefetcher + Send + 'static) -> Self {
+        self.members.push(Box::new(member));
+        self.slots_used.push(0);
+        self
+    }
+
+    /// Per-member slot usage counts, in priority order.
+    pub fn slots_used(&self) -> &[u64] {
+        &self.slots_used
+    }
+
+    /// Fraction of used slots attributed to the highest-priority member.
+    pub fn primary_share(&self) -> f64 {
+        let total: u64 = self.slots_used.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.slots_used[0] as f64 / total as f64
+        }
+    }
+}
+
+impl Prefetcher for EnsemblePrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        for m in &mut self.members {
+            m.prepare(trace);
+        }
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let mut out: Vec<Block> = Vec::with_capacity(self.budget);
+        for (mi, m) in self.members.iter_mut().enumerate() {
+            // Every member observes every access (so its internal state
+            // stays trained) even if its slots are already taken.
+            let candidates = m.on_access(access);
+            for b in candidates {
+                if out.len() >= self.budget {
+                    break;
+                }
+                if !out.contains(&b) {
+                    out.push(b);
+                    self.slots_used[mi] += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A dynamic-priority ensemble — the policy §5 names as future work
+/// ("It is possible to get larger benefits with dynamic ensemble priority
+/// policies").
+///
+/// Each member's recent predictions are scored against the demand stream
+/// within a sliding horizon; members are consulted in descending recent
+/// hit-rate, re-ranked every `rerank_interval` accesses. A fixed-priority
+/// ensemble can starve a member that happens to suit the current phase;
+/// this one adapts.
+pub struct DynamicEnsemblePrefetcher {
+    name: String,
+    members: Vec<Box<dyn Prefetcher + Send>>,
+    budget: usize,
+    horizon: usize,
+    rerank_interval: u64,
+    /// Per member: outstanding (block, issue index) predictions.
+    outstanding: Vec<std::collections::VecDeque<(Block, u64)>>,
+    /// Per member: recent hits and issues (decayed at each re-rank).
+    hits: Vec<f64>,
+    issues: Vec<f64>,
+    /// Current consultation order (member indices).
+    order: Vec<usize>,
+    accesses: u64,
+}
+
+impl std::fmt::Debug for DynamicEnsemblePrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicEnsemblePrefetcher")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .field("order", &self.order)
+            .finish()
+    }
+}
+
+impl DynamicEnsemblePrefetcher {
+    /// Creates a dynamic ensemble with the given per-access budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(name: impl Into<String>, budget: usize) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        DynamicEnsemblePrefetcher {
+            name: name.into(),
+            members: Vec::new(),
+            budget,
+            horizon: 256,
+            rerank_interval: 1024,
+            outstanding: Vec::new(),
+            hits: Vec::new(),
+            issues: Vec::new(),
+            order: Vec::new(),
+            accesses: 0,
+        }
+    }
+
+    /// Appends a member (initial priority = insertion order); returns
+    /// `self` for chaining.
+    pub fn with(mut self, member: impl Prefetcher + Send + 'static) -> Self {
+        self.members.push(Box::new(member));
+        self.outstanding.push(std::collections::VecDeque::new());
+        self.hits.push(0.0);
+        self.issues.push(0.0);
+        self.order.push(self.order.len());
+        self
+    }
+
+    /// The current consultation order (most trusted first).
+    pub fn current_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Recent hit-rate per member.
+    pub fn hit_rates(&self) -> Vec<f64> {
+        self.hits
+            .iter()
+            .zip(&self.issues)
+            .map(|(h, i)| if *i > 0.0 { h / i } else { 0.0 })
+            .collect()
+    }
+
+    fn score_demand(&mut self, block: Block) {
+        let expiry = self.accesses.saturating_sub(self.horizon as u64);
+        for (mi, q) in self.outstanding.iter_mut().enumerate() {
+            while let Some(&(_, at)) = q.front() {
+                if at < expiry {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if let Some(pos) = q.iter().position(|&(b, _)| b == block) {
+                q.remove(pos);
+                self.hits[mi] += 1.0;
+            }
+        }
+    }
+
+    fn rerank(&mut self) {
+        let rates = self.hit_rates();
+        self.order
+            .sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).expect("finite rates"));
+        // Exponential decay keeps the ranking responsive to phase changes.
+        for (h, i) in self.hits.iter_mut().zip(&mut self.issues) {
+            *h *= 0.5;
+            *i *= 0.5;
+        }
+    }
+}
+
+impl Prefetcher for DynamicEnsemblePrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        for m in &mut self.members {
+            m.prepare(trace);
+        }
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        self.accesses += 1;
+        self.score_demand(access.block());
+        if self.accesses % self.rerank_interval == 0 {
+            self.rerank();
+        }
+
+        // Every member observes every access and is *shadow-evaluated* on
+        // all of its candidates (sandbox-style, so an unlucky member can
+        // still earn trust); the budget only gates what is actually issued.
+        let mut candidates: Vec<Vec<Block>> = Vec::with_capacity(self.members.len());
+        for (mi, m) in self.members.iter_mut().enumerate() {
+            let c = m.on_access(access);
+            for &b in &c {
+                self.issues[mi] += 1.0;
+                self.outstanding[mi].push_back((b, self.accesses));
+                if self.outstanding[mi].len() > 4 * self.horizon {
+                    self.outstanding[mi].pop_front();
+                }
+            }
+            candidates.push(c);
+        }
+        let mut out: Vec<Block> = Vec::with_capacity(self.budget);
+        for &mi in &self.order {
+            for &b in &candidates[mi] {
+                if out.len() >= self.budget {
+                    break;
+                }
+                if !out.contains(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{NoPrefetcher, Prefetcher};
+    use crate::nextline::NextLinePrefetcher;
+
+    struct Fixed(Vec<u64>);
+    impl Prefetcher for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn on_access(&mut self, _a: &MemoryAccess) -> Vec<Block> {
+            self.0.iter().map(|&b| Block(b)).collect()
+        }
+    }
+
+    fn access(block: u64) -> MemoryAccess {
+        MemoryAccess::new(0, 0x400, block * 64)
+    }
+
+    #[test]
+    fn primary_takes_priority() {
+        let mut e = EnsemblePrefetcher::new("test", 2)
+            .with(Fixed(vec![100, 101]))
+            .with(Fixed(vec![200, 201]));
+        let out = e.on_access(&access(1));
+        assert_eq!(out, vec![Block(100), Block(101)]);
+        assert_eq!(e.slots_used(), &[2, 0]);
+    }
+
+    #[test]
+    fn secondary_fills_unused_slots() {
+        let mut e = EnsemblePrefetcher::new("test", 2)
+            .with(Fixed(vec![100]))
+            .with(Fixed(vec![200, 201]));
+        let out = e.on_access(&access(1));
+        assert_eq!(out, vec![Block(100), Block(200)]);
+        assert_eq!(e.slots_used(), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_primary_falls_through() {
+        let mut e = EnsemblePrefetcher::new("pf+nl", 2)
+            .with(NoPrefetcher::new())
+            .with(NextLinePrefetcher::with_degree(2));
+        let out = e.on_access(&access(10));
+        assert_eq!(out, vec![Block(11), Block(12)]);
+        assert!((e.primary_share() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn duplicates_across_members_collapse() {
+        let mut e = EnsemblePrefetcher::new("test", 2)
+            .with(Fixed(vec![100]))
+            .with(Fixed(vec![100, 300]));
+        let out = e.on_access(&access(1));
+        assert_eq!(out, vec![Block(100), Block(300)]);
+    }
+
+    #[test]
+    fn primary_share_tracks_usage() {
+        let mut e = EnsemblePrefetcher::new("test", 2)
+            .with(Fixed(vec![1, 2]))
+            .with(Fixed(vec![3]));
+        for _ in 0..10 {
+            e.on_access(&access(5));
+        }
+        assert!((e.primary_share() - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// Always predicts the next block of a +1 stream (accurate on streams).
+    struct PlusOne;
+    impl Prefetcher for PlusOne {
+        fn name(&self) -> &str {
+            "plus-one"
+        }
+        fn on_access(&mut self, a: &MemoryAccess) -> Vec<Block> {
+            vec![Block(a.block().0 + 1)]
+        }
+    }
+
+    /// Always predicts a block nobody will touch.
+    struct Garbage;
+    impl Prefetcher for Garbage {
+        fn name(&self) -> &str {
+            "garbage"
+        }
+        fn on_access(&mut self, _a: &MemoryAccess) -> Vec<Block> {
+            vec![Block(u64::MAX / 2)]
+        }
+    }
+
+    #[test]
+    fn dynamic_ensemble_promotes_the_accurate_member() {
+        // Garbage starts at the highest priority; after re-ranking the
+        // accurate +1 predictor must take over the budget slot.
+        let mut e = DynamicEnsemblePrefetcher::new("dyn", 1)
+            .with(Garbage)
+            .with(PlusOne);
+        assert_eq!(e.current_order(), &[0, 1]);
+        for i in 0..4096u64 {
+            e.on_access(&MemoryAccess::new(i, 0x400, i * 64));
+        }
+        assert_eq!(
+            e.current_order()[0],
+            1,
+            "accurate member should be promoted: rates {:?}",
+            e.hit_rates()
+        );
+        let out = e.on_access(&MemoryAccess::new(9000, 0x400, 9000 * 64));
+        assert_eq!(out, vec![Block(9001)], "budget goes to the promoted member");
+    }
+
+    #[test]
+    fn dynamic_ensemble_respects_budget() {
+        let mut e = DynamicEnsemblePrefetcher::new("dyn", 2)
+            .with(PlusOne)
+            .with(Fixed(vec![100, 101, 102]));
+        let out = e.on_access(&access(5));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_hit_rates_bounded() {
+        let mut e = DynamicEnsemblePrefetcher::new("dyn", 2)
+            .with(PlusOne)
+            .with(Garbage);
+        for i in 0..3000u64 {
+            e.on_access(&MemoryAccess::new(i, 0x400, i * 64));
+        }
+        for r in e.hit_rates() {
+            assert!((0.0..=1.0).contains(&r), "rate {r}");
+        }
+    }
+}

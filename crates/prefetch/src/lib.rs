@@ -1,0 +1,66 @@
+//! # pathfinder-prefetch
+//!
+//! The prefetcher interface and every baseline the PATHFINDER paper
+//! compares against (§4.3):
+//!
+//! | Baseline | Class | Module |
+//! |---|---|---|
+//! | No Prefetch | — | [`api`] |
+//! | Next-Line / Stride | rule-based stride | [`nextline`] |
+//! | Best-Offset (BO) | rule-based offset | [`best_offset`] |
+//! | SPP | history-based delta, confidence throttled | [`spp`] |
+//! | SISB | idealized temporal record-replay | [`sisb`] |
+//! | Pythia | tabular RL over delta actions | [`pythia`] |
+//! | Delta-LSTM | offline-trained neural delta | [`delta_lstm`] |
+//! | Voyager | offline-trained hierarchical neural | [`voyager`] |
+//! | Ensembles | priority fill | [`ensemble`] |
+//!
+//! PATHFINDER itself lives in the `pathfinder-core` crate and implements the
+//! same [`Prefetcher`] trait.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pathfinder_prefetch::{generate_prefetches, Prefetcher, SisbPrefetcher};
+//! use pathfinder_sim::{MemoryAccess, Trace};
+//!
+//! // An irregular but repeating stream: SISB records it, then replays it.
+//! let tour = [100u64, 7, 93, 12, 55, 31];
+//! let trace: Trace = (0..600)
+//!     .map(|i| MemoryAccess::new(i, 0x400, tour[(i % 6) as usize] * 64))
+//!     .collect();
+//!
+//! let mut sisb = SisbPrefetcher::new(1);
+//! let schedule = generate_prefetches(&mut sisb, &trace, 2);
+//! // After the first lap, every prediction is the true next block.
+//! let correct = schedule
+//!     .iter()
+//!     .filter(|r| {
+//!         let i = r.trigger_instr_id as usize;
+//!         trace.accesses().get(i + 1).is_some_and(|n| n.block() == r.block)
+//!     })
+//!     .count();
+//! assert!(correct as f64 > 0.95 * schedule.len() as f64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod best_offset;
+pub mod delta_lstm;
+pub mod ensemble;
+pub mod nextline;
+pub mod pythia;
+pub mod sisb;
+pub mod spp;
+pub mod voyager;
+
+pub use api::{generate_prefetches, NoPrefetcher, OraclePrefetcher, Prefetcher};
+pub use best_offset::{BestOffsetPrefetcher, BO_OFFSETS};
+pub use delta_lstm::{DeltaLstmConfig, DeltaLstmPrefetcher};
+pub use ensemble::{DynamicEnsemblePrefetcher, EnsemblePrefetcher};
+pub use nextline::{NextLinePrefetcher, StridePrefetcher};
+pub use pythia::{PythiaConfig, PythiaPrefetcher, RewardConfig, DEFAULT_ACTIONS};
+pub use sisb::SisbPrefetcher;
+pub use spp::{SppConfig, SppPrefetcher};
+pub use voyager::{VoyagerConfig, VoyagerPrefetcher};

@@ -1,0 +1,186 @@
+//! Next-line and per-PC stride prefetchers — the simplest rule-based
+//! baselines (§2.1).
+
+use std::collections::HashMap;
+
+use pathfinder_sim::{Block, MemoryAccess};
+
+use crate::api::Prefetcher;
+
+/// Prefetches the block(s) immediately following every access.
+#[derive(Debug, Clone)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a degree-1 next-line prefetcher.
+    pub fn new() -> Self {
+        NextLinePrefetcher { degree: 1 }
+    }
+
+    /// Creates a next-line prefetcher issuing `degree` sequential blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn with_degree(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        NextLinePrefetcher { degree }
+    }
+}
+
+impl Default for NextLinePrefetcher {
+    fn default() -> Self {
+        NextLinePrefetcher::new()
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn name(&self) -> &str {
+        "NextLine"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let b = access.block();
+        (1..=self.degree as u64).map(|d| Block(b.0 + d)).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    last_block: Block,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Classic per-PC stride detection: learns a load instruction's stride from
+/// consecutive accesses and prefetches ahead once confident.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: HashMap<u64, StrideEntry>,
+    degree: usize,
+    /// Confidence needed before issuing (2-bit counter semantics).
+    threshold: u8,
+    max_entries: usize,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with the given lookahead degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        StridePrefetcher {
+            table: HashMap::new(),
+            degree,
+            threshold: 2,
+            max_entries: 4096,
+        }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn name(&self) -> &str {
+        "Stride"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let pc = access.pc.raw();
+        let block = access.block();
+        if self.table.len() >= self.max_entries && !self.table.contains_key(&pc) {
+            // Cheap capacity control: drop everything (rare in practice).
+            self.table.clear();
+        }
+        let entry = self.table.entry(pc).or_insert(StrideEntry {
+            last_block: block,
+            stride: 0,
+            confidence: 0,
+        });
+        let observed = entry.last_block.delta(block);
+        if observed == entry.stride && observed != 0 {
+            entry.confidence = (entry.confidence + 1).min(3);
+        } else {
+            entry.stride = observed;
+            entry.confidence = 0;
+        }
+        entry.last_block = block;
+
+        if entry.confidence >= self.threshold && entry.stride != 0 {
+            let stride = entry.stride;
+            (1..=self.degree as i64)
+                .map(|k| block.offset_by(stride * k))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, pc: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::new(i, pc, block * 64)
+    }
+
+    #[test]
+    fn nextline_prefetches_successor() {
+        let mut p = NextLinePrefetcher::new();
+        assert_eq!(p.on_access(&access(0, 1, 10)), vec![Block(11)]);
+    }
+
+    #[test]
+    fn nextline_degree_extends_run() {
+        let mut p = NextLinePrefetcher::with_degree(3);
+        assert_eq!(
+            p.on_access(&access(0, 1, 10)),
+            vec![Block(11), Block(12), Block(13)]
+        );
+    }
+
+    #[test]
+    fn stride_learns_after_confidence_builds() {
+        let mut p = StridePrefetcher::new(2);
+        assert!(p.on_access(&access(0, 7, 100)).is_empty());
+        assert!(p.on_access(&access(1, 7, 103)).is_empty()); // stride 3 seen once
+        assert!(p.on_access(&access(2, 7, 106)).is_empty()); // confidence 1
+        let out = p.on_access(&access(3, 7, 109)); // confidence 2 -> issue
+        assert_eq!(out, vec![Block(112), Block(115)]);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(1);
+        for i in 0..4 {
+            p.on_access(&access(i, 7, 100 + i * 2));
+        }
+        assert!(!p.on_access(&access(4, 7, 108)).is_empty());
+        // Break the stride.
+        assert!(p.on_access(&access(5, 7, 200)).is_empty());
+        assert!(p.on_access(&access(6, 7, 300)).is_empty());
+    }
+
+    #[test]
+    fn strides_are_per_pc() {
+        let mut p = StridePrefetcher::new(1);
+        for i in 0..4 {
+            p.on_access(&access(i * 2, 1, 100 + i));
+            p.on_access(&access(i * 2 + 1, 2, 500 + i * 5));
+        }
+        assert_eq!(p.on_access(&access(8, 1, 104)), vec![Block(105)]);
+        assert_eq!(p.on_access(&access(9, 2, 520)), vec![Block(525)]);
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let mut p = StridePrefetcher::new(1);
+        for i in 0..4u64 {
+            p.on_access(&access(i, 3, 1000 - i * 2));
+        }
+        assert_eq!(p.on_access(&access(4, 3, 992)), vec![Block(990)]);
+    }
+}

@@ -1,0 +1,355 @@
+//! A Pythia-style reinforcement-learning prefetcher (Bera et al., MICRO
+//! 2021), ported to the LLC as in the paper's evaluation (§4.3).
+//!
+//! Pythia frames prefetching as an RL problem: the *state* is a hash of
+//! program features (PC, recent page deltas), the *actions* are candidate
+//! prefetch deltas (plus "no prefetch"), and the *reward* scores each
+//! action by whether the prefetched block was demanded soon after
+//! (accurate/timely), never (inaccurate, wasting bandwidth), or whether
+//! declining to prefetch was right. Q-values live in a tabular value store
+//! and are updated SARSA-style when an action's outcome resolves.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use pathfinder_sim::{Block, MemoryAccess};
+
+use crate::api::Prefetcher;
+
+/// Pythia's default action list: candidate block deltas. Index 0 is the
+/// explicit "no prefetch" action.
+pub const DEFAULT_ACTIONS: [i64; 16] = [0, 1, 2, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32, -1, -3];
+
+/// Reward levels, following the Pythia paper's structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardConfig {
+    /// Prefetch demanded within the timeliness window.
+    pub accurate_timely: f32,
+    /// Prefetch demanded, but late in the window.
+    pub accurate_late: f32,
+    /// Prefetch never demanded before the window expired.
+    pub inaccurate: f32,
+    /// The no-prefetch action (mildly positive: saves bandwidth).
+    pub no_prefetch: f32,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig {
+            accurate_timely: 20.0,
+            accurate_late: 12.0,
+            inaccurate: -8.0,
+            no_prefetch: -2.0,
+        }
+    }
+}
+
+/// Tunable Pythia configuration (the paper swept alpha/gamma/epsilon and the
+/// action list to find its best LLC port).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PythiaConfig {
+    /// Learning rate.
+    pub alpha: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Exploration rate for ε-greedy action selection.
+    pub epsilon: f32,
+    /// Candidate prefetch deltas (`0` = no prefetch).
+    pub actions: Vec<i64>,
+    /// Accesses after which an unresolved prefetch counts as inaccurate.
+    pub horizon: usize,
+    /// Accesses within which a hit counts as timely.
+    pub timely_horizon: usize,
+    /// Reward levels.
+    pub rewards: RewardConfig,
+}
+
+impl Default for PythiaConfig {
+    fn default() -> Self {
+        PythiaConfig {
+            alpha: 0.0065,
+            gamma: 0.556,
+            epsilon: 0.002,
+            actions: DEFAULT_ACTIONS.to_vec(),
+            horizon: 256,
+            timely_horizon: 64,
+            rewards: RewardConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    state: u64,
+    action_idx: usize,
+    block: Block,
+    issued_at: u64,
+}
+
+/// The RL prefetcher.
+#[derive(Debug)]
+pub struct PythiaPrefetcher {
+    config: PythiaConfig,
+    /// Q-table: state hash → per-action values.
+    q: HashMap<u64, Vec<f32>>,
+    /// Outstanding actions awaiting their reward.
+    inflight: VecDeque<InFlight>,
+    /// Last block per page, to compute page-local deltas as a state feature.
+    last_in_page: HashMap<u64, u8>,
+    last_delta: i64,
+    access_count: u64,
+    rng: StdRng,
+    /// Total prefetches issued (Table 6 reports these).
+    issued: u64,
+}
+
+impl PythiaPrefetcher {
+    /// Creates a Pythia with the default LLC configuration.
+    pub fn new(seed: u64) -> Self {
+        PythiaPrefetcher::with_config(PythiaConfig::default(), seed)
+    }
+
+    /// Creates a Pythia with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action list is empty or lacks the no-prefetch action.
+    pub fn with_config(config: PythiaConfig, seed: u64) -> Self {
+        assert!(!config.actions.is_empty(), "need at least one action");
+        assert!(
+            config.actions.contains(&0),
+            "action list must include the no-prefetch action (0)"
+        );
+        PythiaPrefetcher {
+            q: HashMap::new(),
+            inflight: VecDeque::new(),
+            last_in_page: HashMap::new(),
+            last_delta: 0,
+            access_count: 0,
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+            config,
+        }
+    }
+
+    /// Prefetches issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Feature vector → state hash. Uses Pythia's best-reported feature
+    /// combination: PC plus recent delta history.
+    fn state_of(&self, access: &MemoryAccess, page_delta: i64) -> u64 {
+        let pc = access.pc.raw();
+        let mix = pc
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            ^ ((page_delta as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            ^ ((self.last_delta as u64).rotate_left(17));
+        mix & 0xFFFF // bounded state space, like Pythia's hashed vault
+    }
+
+    fn q_values(&mut self, state: u64) -> &mut Vec<f32> {
+        let n = self.config.actions.len();
+        self.q.entry(state).or_insert_with(|| vec![0.0; n])
+    }
+
+    fn best_action(&mut self, state: u64) -> usize {
+        let vals = self.q_values(state);
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in vals.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Resolves in-flight actions: demanded → positive reward, expired →
+    /// negative. `next_state` anchors the bootstrap term.
+    fn resolve(&mut self, demanded: Block, next_state: u64) {
+        let horizon = self.config.horizon as u64;
+        let now = self.access_count;
+        let cfg = self.config.clone();
+        let next_best = {
+            let idx = self.best_action(next_state);
+            self.q_values(next_state)[idx]
+        };
+
+        let mut remaining = VecDeque::with_capacity(self.inflight.len());
+        while let Some(f) = self.inflight.pop_front() {
+            let age = now - f.issued_at;
+            let reward = if f.block == demanded {
+                if age <= cfg.timely_horizon as u64 {
+                    Some(cfg.rewards.accurate_timely)
+                } else {
+                    Some(cfg.rewards.accurate_late)
+                }
+            } else if age > horizon {
+                Some(cfg.rewards.inaccurate)
+            } else {
+                None
+            };
+            match reward {
+                Some(r) => {
+                    let q = self.q_values(f.state);
+                    let old = q[f.action_idx];
+                    q[f.action_idx] = old + cfg.alpha * (r + cfg.gamma * next_best - old);
+                }
+                None => remaining.push_back(f),
+            }
+        }
+        self.inflight = remaining;
+    }
+}
+
+impl Prefetcher for PythiaPrefetcher {
+    fn name(&self) -> &str {
+        "Pythia"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        self.access_count += 1;
+        let block = access.block();
+        let page = block.page();
+
+        let page_delta = match self.last_in_page.insert(page.0, block.page_offset()) {
+            Some(prev) => block.page_offset() as i64 - prev as i64,
+            None => 0,
+        };
+        let state = self.state_of(access, page_delta);
+
+        // Learn from what this demand access resolves.
+        self.resolve(block, state);
+        self.last_delta = page_delta;
+
+        // ε-greedy action selection.
+        let n = self.config.actions.len();
+        let action_idx = if self.rng.gen_range(0.0f32..1.0) < self.config.epsilon {
+            self.rng.gen_range(0..n)
+        } else {
+            self.best_action(state)
+        };
+        let delta = self.config.actions[action_idx];
+
+        if delta == 0 {
+            // Explicit no-prefetch: immediate mild reward.
+            let r = self.config.rewards.no_prefetch;
+            let (alpha, gamma) = (self.config.alpha, self.config.gamma);
+            let next_best = {
+                let idx = self.best_action(state);
+                self.q_values(state)[idx]
+            };
+            let q = self.q_values(state);
+            let old = q[action_idx];
+            q[action_idx] = old + alpha * (r + gamma * next_best - old);
+            return Vec::new();
+        }
+
+        // Pythia prefetches at degree 2 along its chosen delta (the paper's
+        // LLC port issues up to the competition budget), which makes it the
+        // most aggressive baseline in Table 6.
+        let target = block.offset_by(delta);
+        let extension = block.offset_by(2 * delta);
+        self.inflight.push_back(InFlight {
+            state,
+            action_idx,
+            block: target,
+            issued_at: self.access_count,
+        });
+        // Bound the queue so pathological streams cannot grow it unbounded.
+        while self.inflight.len() > 4 * self.config.horizon {
+            self.inflight.pop_front();
+        }
+        self.issued += 2;
+        vec![target, extension]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, pc: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::new(i, pc, block * 64)
+    }
+
+    #[test]
+    fn learns_a_unit_stride() {
+        let mut py = PythiaPrefetcher::new(1);
+        // Long +1 stream within pages.
+        let mut i = 0u64;
+        for page in 0..400u64 {
+            for off in 0..32u64 {
+                py.on_access(&access(i, 0x400, page * 64 + off));
+                i += 1;
+            }
+        }
+        // After training, the prefetcher should predict +1 on this stream.
+        let mut correct = 0;
+        for off in 0..31u64 {
+            let out = py.on_access(&access(i, 0x400, 100_000 * 64 + off));
+            i += 1;
+            if out.contains(&Block(100_000 * 64 + off + 1)) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 20, "should mostly predict +1, got {correct}/31");
+    }
+
+    #[test]
+    fn counts_issued_prefetches() {
+        let mut py = PythiaPrefetcher::new(2);
+        for i in 0..1000u64 {
+            py.on_access(&access(i, 0x400, i));
+        }
+        assert!(py.issued() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut py = PythiaPrefetcher::new(seed);
+            let mut all = Vec::new();
+            for i in 0..2000u64 {
+                all.extend(py.on_access(&access(i, 0x400, i * 3 % 997)));
+            }
+            all
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "no-prefetch")]
+    fn rejects_action_list_without_zero() {
+        let cfg = PythiaConfig {
+            actions: vec![1, 2],
+            ..PythiaConfig::default()
+        };
+        let _ = PythiaPrefetcher::with_config(cfg, 1);
+    }
+
+    #[test]
+    fn random_stream_backs_off() {
+        // On an unlearnable stream, negative rewards should push Pythia
+        // toward fewer (or no-prefetch) actions relative to always-prefetch.
+        let mut py = PythiaPrefetcher::new(3);
+        let mut x = 99u64;
+        let mut n_issued_late = 0u64;
+        for i in 0..30_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let out = py.on_access(&access(i, 0x400 + (x % 7), (x >> 24) & 0xFFFFF));
+            if i > 25_000 && !out.is_empty() {
+                n_issued_late += 1;
+            }
+        }
+        assert!(
+            n_issued_late < 4500,
+            "pythia should partially back off on noise, issued {n_issued_late}/5000"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Idealized Irregular Stream Buffer (SISB) — temporal record-and-replay
+//! prefetching with unbounded metadata, as provided by the ML Prefetching
+//! Competition (the paper's strongest rule-based baseline on temporal
+//! workloads like xalan and omnetpp).
+
+use std::collections::HashMap;
+
+use pathfinder_sim::{Block, MemoryAccess};
+
+use crate::api::Prefetcher;
+
+/// The idealized ISB.
+///
+/// ISB linearizes irregular accesses into PC-localized *structural* streams:
+/// for each load PC, the sequence of blocks it touches is recorded, and on a
+/// re-occurrence of a block the successors recorded last time are replayed.
+/// "Idealized" means the mapping tables are unbounded and never evicted —
+/// the competition's SISB upper-bounds what a real ISB could do.
+#[derive(Debug, Clone)]
+pub struct SisbPrefetcher {
+    /// `(pc, block) -> next block in that PC's temporal stream`.
+    successor: HashMap<(u64, u64), Block>,
+    /// Last block touched by each PC.
+    last_by_pc: HashMap<u64, Block>,
+    degree: usize,
+}
+
+impl SisbPrefetcher {
+    /// Creates an idealized ISB issuing up to `degree` replayed successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        SisbPrefetcher {
+            successor: HashMap::new(),
+            last_by_pc: HashMap::new(),
+            degree,
+        }
+    }
+
+    /// Number of recorded (pc, block) → successor links.
+    pub fn recorded_links(&self) -> usize {
+        self.successor.len()
+    }
+}
+
+impl Prefetcher for SisbPrefetcher {
+    fn name(&self) -> &str {
+        "SISB"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let pc = access.pc.raw();
+        let block = access.block();
+
+        // Record: extend this PC's temporal stream.
+        if let Some(prev) = self.last_by_pc.insert(pc, block) {
+            if prev != block {
+                self.successor.insert((pc, prev.0), block);
+            }
+        }
+
+        // Replay: follow the recorded successor chain.
+        let mut out = Vec::with_capacity(self.degree);
+        let mut cur = block;
+        for _ in 0..self.degree {
+            match self.successor.get(&(pc, cur.0)) {
+                Some(&next) if next != block && !out.contains(&next) => {
+                    out.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, pc: u64, block: u64) -> MemoryAccess {
+        MemoryAccess::new(i, pc, block * 64)
+    }
+
+    #[test]
+    fn replays_an_irregular_sequence() {
+        let mut sisb = SisbPrefetcher::new(2);
+        let seq = [100u64, 7, 93, 12, 55];
+        // First pass: record only.
+        for (i, &b) in seq.iter().enumerate() {
+            assert!(sisb.on_access(&access(i as u64, 1, b)).is_empty() || i > 0);
+        }
+        // Second pass: each access replays the recorded successors.
+        let out = sisb.on_access(&access(10, 1, 100));
+        assert_eq!(out, vec![Block(7), Block(93)]);
+        let out = sisb.on_access(&access(11, 1, 7));
+        assert_eq!(out, vec![Block(93), Block(12)]);
+    }
+
+    #[test]
+    fn streams_are_pc_localized() {
+        let mut sisb = SisbPrefetcher::new(1);
+        // PC 1 stream: 10 -> 20. PC 2 stream: 10 -> 99.
+        sisb.on_access(&access(0, 1, 10));
+        sisb.on_access(&access(1, 2, 10));
+        sisb.on_access(&access(2, 1, 20));
+        sisb.on_access(&access(3, 2, 99));
+        assert_eq!(sisb.on_access(&access(4, 1, 10)), vec![Block(20)]);
+        assert_eq!(sisb.on_access(&access(5, 2, 10)), vec![Block(99)]);
+    }
+
+    #[test]
+    fn updates_stale_successors() {
+        let mut sisb = SisbPrefetcher::new(1);
+        sisb.on_access(&access(0, 1, 5));
+        sisb.on_access(&access(1, 1, 6));
+        // New phase: 5 is now followed by 42.
+        sisb.on_access(&access(2, 1, 5));
+        sisb.on_access(&access(3, 1, 42));
+        assert_eq!(sisb.on_access(&access(4, 1, 5)), vec![Block(42)]);
+    }
+
+    #[test]
+    fn no_replay_without_history() {
+        let mut sisb = SisbPrefetcher::new(2);
+        assert!(sisb.on_access(&access(0, 9, 1234)).is_empty());
+        assert_eq!(sisb.recorded_links(), 0);
+    }
+
+    #[test]
+    fn repeated_same_block_records_nothing() {
+        let mut sisb = SisbPrefetcher::new(1);
+        sisb.on_access(&access(0, 1, 8));
+        sisb.on_access(&access(1, 1, 8));
+        assert_eq!(sisb.recorded_links(), 0);
+    }
+}

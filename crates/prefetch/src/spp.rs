@@ -1,0 +1,285 @@
+//! Signature Path Prefetcher (Kim et al., MICRO 2016) — the paper's
+//! history-based delta baseline with confidence-driven lookahead.
+
+use std::collections::HashMap;
+
+use pathfinder_sim::{Block, MemoryAccess, BLOCKS_PER_PAGE};
+
+use crate::api::Prefetcher;
+
+const SIG_SHIFT: u32 = 3;
+const SIG_BITS: u32 = 12;
+const MAX_PATTERNS: usize = 4;
+const COUNTER_MAX: u32 = 15;
+
+#[derive(Debug, Clone, Copy)]
+struct SignatureEntry {
+    last_offset: u8,
+    signature: u16,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PatternEntry {
+    /// (delta, counter), at most [`MAX_PATTERNS`] of them.
+    deltas: Vec<(i8, u32)>,
+    total: u32,
+}
+
+impl PatternEntry {
+    fn update(&mut self, delta: i8) {
+        if let Some(i) = self.deltas.iter().position(|(d, _)| *d == delta) {
+            if self.deltas[i].1 >= COUNTER_MAX {
+                // SPP's saturation scheme: halve every counter so the
+                // confidence *ratio* survives saturation.
+                for e in &mut self.deltas {
+                    e.1 /= 2;
+                }
+            }
+            self.deltas[i].1 += 1;
+        } else if self.deltas.len() < MAX_PATTERNS {
+            self.deltas.push((delta, 1));
+        } else if let Some(min) = self.deltas.iter_mut().min_by_key(|(_, c)| *c) {
+            // Replace the weakest pattern.
+            *min = (delta, 1);
+        }
+        self.total = self.deltas.iter().map(|(_, c)| c).sum();
+    }
+
+    /// Highest-confidence delta and its fractional confidence.
+    ///
+    /// Confidence is Laplace-smoothed (`c / (total + 2)`) so that a single
+    /// observation cannot reach full confidence — SPP only trusts patterns
+    /// with repeated support.
+    fn best(&self) -> Option<(i8, f64)> {
+        if self.total == 0 {
+            return None;
+        }
+        self.deltas
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|&(d, c)| (d, c as f64 / (self.total + 2) as f64))
+    }
+}
+
+/// SPP configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SppConfig {
+    /// Minimum cumulative path confidence to keep issuing prefetches.
+    /// SPP's adaptive throttling makes it the most *selective* baseline in
+    /// the paper (highest accuracy, lowest coverage — Table 6).
+    pub confidence_threshold: f64,
+    /// Maximum lookahead depth along the signature path.
+    pub max_depth: usize,
+}
+
+impl Default for SppConfig {
+    fn default() -> Self {
+        SppConfig {
+            // Tuned for the paper's SPP character: the most accurate and
+            // least aggressive baseline (Table 6 shows it issuing far fewer
+            // prefetches than Pythia or PATHFINDER).
+            confidence_threshold: 0.6,
+            max_depth: 3,
+        }
+    }
+}
+
+/// The Signature Path Prefetcher.
+///
+/// A per-page signature compresses the page's recent delta history; a
+/// pattern table maps signatures to likely next deltas with confidence
+/// counters. Prediction walks the signature path speculatively, multiplying
+/// confidences, and stops below the threshold.
+#[derive(Debug, Clone)]
+pub struct SppPrefetcher {
+    config: SppConfig,
+    signature_table: HashMap<u64, SignatureEntry>,
+    pattern_table: HashMap<u16, PatternEntry>,
+    max_pages: usize,
+}
+
+impl SppPrefetcher {
+    /// Creates an SPP with the default configuration.
+    pub fn new() -> Self {
+        SppPrefetcher::with_config(SppConfig::default())
+    }
+
+    /// Creates an SPP with explicit knobs.
+    pub fn with_config(config: SppConfig) -> Self {
+        SppPrefetcher {
+            config,
+            signature_table: HashMap::new(),
+            pattern_table: HashMap::new(),
+            max_pages: 1 << 14,
+        }
+    }
+
+    fn next_signature(sig: u16, delta: i8) -> u16 {
+        let d = (delta as i16 as u16) & 0x7F;
+        ((sig << SIG_SHIFT) ^ d) & ((1 << SIG_BITS) - 1)
+    }
+}
+
+impl Default for SppPrefetcher {
+    fn default() -> Self {
+        SppPrefetcher::new()
+    }
+}
+
+impl Prefetcher for SppPrefetcher {
+    fn name(&self) -> &str {
+        "SPP"
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        let block = access.block();
+        let page = block.page();
+        let offset = block.page_offset();
+
+        if self.signature_table.len() >= self.max_pages {
+            self.signature_table.clear();
+        }
+
+        let sig = match self.signature_table.get_mut(&page.0) {
+            Some(entry) => {
+                let delta = offset as i8 - entry.last_offset as i8;
+                if delta == 0 {
+                    return Vec::new();
+                }
+                // Learn: old signature predicts this delta.
+                self.pattern_table
+                    .entry(entry.signature)
+                    .or_default()
+                    .update(delta);
+                entry.signature = Self::next_signature(entry.signature, delta);
+                entry.last_offset = offset;
+                entry.signature
+            }
+            None => {
+                self.signature_table.insert(
+                    page.0,
+                    SignatureEntry {
+                        last_offset: offset,
+                        signature: 0,
+                    },
+                );
+                return Vec::new();
+            }
+        };
+
+        // Predict: walk the signature path while confidence holds.
+        let mut out = Vec::new();
+        let mut cur_sig = sig;
+        let mut cur_offset = offset as i64;
+        let mut confidence = 1.0f64;
+        for _ in 0..self.config.max_depth {
+            let Some(entry) = self.pattern_table.get(&cur_sig) else {
+                break;
+            };
+            let Some((delta, c)) = entry.best() else {
+                break;
+            };
+            confidence *= c;
+            if confidence < self.config.confidence_threshold {
+                break;
+            }
+            cur_offset += delta as i64;
+            if !(0..BLOCKS_PER_PAGE as i64).contains(&cur_offset) {
+                break; // stay within the page, as base SPP does
+            }
+            out.push(page.block_at(cur_offset as u8));
+            cur_sig = Self::next_signature(cur_sig, delta);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(i: u64, page: u64, offset: u64) -> MemoryAccess {
+        MemoryAccess::new(i, 0x400, page * 4096 + offset * 64)
+    }
+
+    #[test]
+    fn learns_repeating_delta_pattern() {
+        let mut spp = SppPrefetcher::new();
+        // Visit pages with the same +2 delta pattern repeatedly.
+        let mut i = 0u64;
+        for page in 0..50u64 {
+            for step in 0..12u64 {
+                spp.on_access(&access(i, page, step * 2));
+                i += 1;
+            }
+        }
+        // On a fresh page following the same pattern, SPP should predict +2.
+        spp.on_access(&access(i, 999, 0));
+        let out = spp.on_access(&access(i + 1, 999, 2));
+        assert!(
+            out.contains(&Block(999 * 64 + 4)),
+            "expected +2 prediction, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn lookahead_issues_multiple_blocks() {
+        let mut spp = SppPrefetcher::with_config(SppConfig {
+            confidence_threshold: 0.3,
+            max_depth: 4,
+        });
+        let mut i = 0u64;
+        for page in 0..80u64 {
+            for step in 0..20u64 {
+                spp.on_access(&access(i, page, step));
+                i += 1;
+            }
+        }
+        spp.on_access(&access(i, 777, 0));
+        let out = spp.on_access(&access(i + 1, 777, 1));
+        assert!(out.len() >= 2, "lookahead should go deep, got {out:?}");
+        assert_eq!(out[0], Block(777 * 64 + 2));
+        assert_eq!(out[1], Block(777 * 64 + 3));
+    }
+
+    #[test]
+    fn no_prediction_without_history() {
+        let mut spp = SppPrefetcher::new();
+        assert!(spp.on_access(&access(0, 5, 0)).is_empty());
+    }
+
+    #[test]
+    fn stays_within_page() {
+        let mut spp = SppPrefetcher::new();
+        let mut i = 0u64;
+        for page in 0..60u64 {
+            for step in 0..10u64 {
+                spp.on_access(&access(i, page, 54 + step));
+                i += 1;
+            }
+        }
+        spp.on_access(&access(i, 321, 54));
+        let out = spp.on_access(&access(i + 1, 321, 55));
+        for b in &out {
+            assert_eq!(b.page().0, 321, "prefetch must stay in page: {b:?}");
+        }
+    }
+
+    #[test]
+    fn throttles_on_noisy_deltas() {
+        // Alternating random deltas mean no signature accumulates
+        // confidence; SPP should issue little or nothing.
+        let mut spp = SppPrefetcher::new();
+        let mut issued = 0usize;
+        let mut x = 7u64;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let off = (x >> 33) % 64;
+            issued += spp.on_access(&access(i, (i / 8) % 32, off)).len();
+        }
+        assert!(
+            issued < 1500,
+            "noisy stream should be throttled, issued {issued}"
+        );
+    }
+}

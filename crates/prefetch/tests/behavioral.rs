@@ -1,0 +1,196 @@
+//! Behavioural tests: each baseline on the archetypal access pattern it was
+//! designed for (and one it was not).
+
+use pathfinder_prefetch::{
+    generate_prefetches, BestOffsetPrefetcher, DeltaLstmConfig, DeltaLstmPrefetcher,
+    NextLinePrefetcher, Prefetcher, PythiaPrefetcher, SisbPrefetcher, SppPrefetcher,
+    StridePrefetcher, VoyagerConfig, VoyagerPrefetcher,
+};
+use pathfinder_sim::{MemoryAccess, Trace};
+
+/// Fraction of prefetches matching the actual next-access block.
+fn next_block_hit_rate(p: &mut dyn Prefetcher, trace: &Trace) -> f64 {
+    let schedule = generate_prefetches(p, trace, 2);
+    if schedule.is_empty() {
+        return 0.0;
+    }
+    let accesses = trace.accesses();
+    let hits = schedule
+        .iter()
+        .filter(|r| {
+            let i = r.trigger_instr_id as usize;
+            accesses.get(i + 1).is_some_and(|n| n.block() == r.block)
+        })
+        .count();
+    hits as f64 / schedule.len() as f64
+}
+
+/// Fraction of prefetches matching ANY of the next `w` accesses.
+fn window_hit_rate(p: &mut dyn Prefetcher, trace: &Trace, w: usize) -> f64 {
+    let schedule = generate_prefetches(p, trace, 2);
+    if schedule.is_empty() {
+        return 0.0;
+    }
+    let accesses = trace.accesses();
+    let hits = schedule
+        .iter()
+        .filter(|r| {
+            let i = r.trigger_instr_id as usize;
+            accesses[i + 1..(i + 1 + w).min(accesses.len())]
+                .iter()
+                .any(|n| n.block() == r.block)
+        })
+        .count();
+    hits as f64 / schedule.len() as f64
+}
+
+fn strided(n: u64, stride: u64) -> Trace {
+    (0..n)
+        .map(|i| MemoryAccess::new(i, 0x400, 0x10_0000 + i * stride * 64))
+        .collect()
+}
+
+fn delta_cycle(n: u64, deltas: &[u64]) -> Trace {
+    let mut block = 1000u64;
+    (0..n)
+        .map(|i| {
+            block += deltas[i as usize % deltas.len()];
+            MemoryAccess::new(i, 0x400, block * 64)
+        })
+        .collect()
+}
+
+fn irregular_loop(n: u64) -> Trace {
+    // A repeating tour of scattered blocks (temporal structure only).
+    let tour: Vec<u64> = (0..64).map(|i| (i * 7919) % 4096).collect();
+    (0..n)
+        .map(|i| MemoryAccess::new(i, 0x400, tour[(i % 64) as usize] * 64))
+        .collect()
+}
+
+fn random_blocks(n: u64) -> Trace {
+    let mut x = 88172645463325252u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            MemoryAccess::new(i, 0x400, (x % (1 << 24)) * 64)
+        })
+        .collect()
+}
+
+#[test]
+fn nextline_owns_unit_streams() {
+    let t = strided(3000, 1);
+    let rate = next_block_hit_rate(&mut NextLinePrefetcher::new(), &t);
+    assert!(rate > 0.95, "NL on a unit stream: {rate}");
+}
+
+#[test]
+fn stride_prefetcher_owns_constant_strides() {
+    let t = strided(3000, 5);
+    let rate = next_block_hit_rate(&mut StridePrefetcher::new(1), &t);
+    assert!(rate > 0.9, "stride detector on stride 5: {rate}");
+    // NL fails here.
+    let nl = next_block_hit_rate(&mut NextLinePrefetcher::new(), &t);
+    assert!(nl < 0.1, "NL should miss a stride-5 stream: {nl}");
+}
+
+#[test]
+fn best_offset_finds_the_dominant_offset() {
+    let t = strided(6000, 3);
+    let rate = next_block_hit_rate(&mut BestOffsetPrefetcher::new(1), &t);
+    assert!(rate > 0.7, "BO on stride 3: {rate}");
+}
+
+#[test]
+fn spp_captures_multi_delta_cycles() {
+    // In-page pattern {+1,+2,+3} repeated: signatures resolve it; plain
+    // stride detection cannot.
+    let mut accesses = Vec::new();
+    let mut id = 0u64;
+    for page in 0..200u64 {
+        let mut off = 0u64;
+        for _ in 0..4 {
+            for d in [1u64, 2, 3] {
+                accesses.push(MemoryAccess::new(id, 0x400, page * 4096 + off * 64));
+                id += 1;
+                off += d;
+                if off >= 64 {
+                    break;
+                }
+            }
+            if off >= 64 {
+                break;
+            }
+        }
+    }
+    let t = Trace::from_accesses(accesses);
+    let spp = window_hit_rate(&mut SppPrefetcher::new(), &t, 3);
+    assert!(spp > 0.5, "SPP on {{1,2,3}} cycles: {spp}");
+    let stride = window_hit_rate(&mut StridePrefetcher::new(1), &t, 3);
+    assert!(
+        spp > stride,
+        "SPP {spp} should beat plain stride {stride} on delta cycles"
+    );
+}
+
+#[test]
+fn sisb_owns_irregular_repetition() {
+    let t = irregular_loop(4000);
+    let sisb = next_block_hit_rate(&mut SisbPrefetcher::new(1), &t);
+    assert!(sisb > 0.9, "SISB on a repeating tour: {sisb}");
+    // Delta prefetchers see noise.
+    let bo = next_block_hit_rate(&mut BestOffsetPrefetcher::new(1), &t);
+    assert!(bo < 0.3, "BO should fail on the tour: {bo}");
+}
+
+#[test]
+fn pythia_learns_streams_and_throttles_on_noise() {
+    let stream = strided(20_000, 1);
+    let mut py = PythiaPrefetcher::new(3);
+    let on_stream = window_hit_rate(&mut py, &stream, 4);
+    assert!(on_stream > 0.5, "Pythia on a stream: {on_stream}");
+
+    let noise = random_blocks(20_000);
+    let mut py = PythiaPrefetcher::new(3);
+    let schedule = generate_prefetches(&mut py, &noise, 2);
+    // ε-greedy exploration keeps issuing a little, but the learned policy
+    // should lean heavily on the no-prefetch action.
+    assert!(
+        (schedule.len() as f64) < 0.9 * 2.0 * noise.len() as f64,
+        "Pythia should not max out issue on noise: {}",
+        schedule.len()
+    );
+}
+
+#[test]
+fn delta_lstm_needs_its_training_distribution() {
+    // Stride fixed through the whole trace: the 10% prefix suffices.
+    let t = strided(4000, 2);
+    let mut dl = DeltaLstmPrefetcher::new(DeltaLstmConfig {
+        clusters: 1,
+        hidden: 16,
+        layers: 1,
+        vocab: 17,
+        ..DeltaLstmConfig::default()
+    });
+    let rate = next_block_hit_rate(&mut dl, &t);
+    assert!(rate > 0.5, "Delta-LSTM on its training stride: {rate}");
+    assert_eq!(dl.unseen_deltas(), 0, "no novel deltas on a pure stream");
+}
+
+#[test]
+fn voyager_memorizes_what_sisb_memorizes() {
+    let t = irregular_loop(4000);
+    let mut v = VoyagerPrefetcher::new(VoyagerConfig {
+        hidden: 24,
+        page_vocab: 65,
+        train_stride: 1,
+        epochs: 2,
+        ..VoyagerConfig::default()
+    });
+    let rate = window_hit_rate(&mut v, &t, 2);
+    assert!(rate > 0.3, "Voyager on a repeating tour: {rate}");
+}

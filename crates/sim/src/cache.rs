@@ -1,0 +1,340 @@
+//! A set-associative cache with LRU replacement and prefetch-bit tracking.
+
+use crate::addr::Block;
+use crate::config::CacheConfig;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Block present; was it originally brought in by a prefetch and never
+    /// yet demanded, and at what cycle did its fill complete?
+    Hit {
+        /// True if this is the first demand touch to a prefetched block.
+        first_demand_to_prefetch: bool,
+        /// Cycle at which the block's fill completed (0 for demand fills in
+        /// the functional pass).
+        fill_ready_cycle: u64,
+    },
+    /// Block absent.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: Block,
+    valid: bool,
+    /// LRU stamp; larger = more recently used.
+    lru: u64,
+    /// Filled by a prefetch and not yet touched by a demand access.
+    prefetched: bool,
+    /// Cycle at which the fill completes (for in-flight prefetch hits).
+    fill_ready_cycle: u64,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        block: Block(0),
+        valid: false,
+        lru: 0,
+        prefetched: false,
+        fill_ready_cycle: 0,
+    };
+}
+
+/// Statistics kept by each cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Blocks filled by prefetch.
+    pub prefetch_fills: u64,
+    /// Prefetched blocks that later served a demand access.
+    pub useful_prefetches: u64,
+    /// Prefetched blocks evicted without ever serving a demand access.
+    pub useless_evictions: u64,
+}
+
+/// A single set-associative cache level.
+///
+/// The simulator's functional pass only needs presence/absence plus enough
+/// metadata to classify prefetch usefulness, so lines carry a block tag, an
+/// LRU stamp, a prefetch bit, and the fill-completion cycle.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_sim::{Block, Cache, CacheConfig, LookupResult};
+///
+/// let mut c = Cache::new(CacheConfig::new(16, 2, 1));
+/// assert_eq!(c.demand_access(Block(7), 0), LookupResult::Miss);
+/// c.fill(Block(7), false, 0);
+/// assert!(matches!(c.demand_access(Block(7), 1), LookupResult::Hit { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets > 0 && config.ways > 0, "cache must be non-empty");
+        Cache {
+            config,
+            sets: vec![vec![Line::INVALID; config.ways]; config.sets],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_index(&self, block: Block) -> usize {
+        (block.0 % self.config.sets as u64) as usize
+    }
+
+    /// Performs a demand access. On a hit the line becomes MRU and loses its
+    /// prefetch bit (counting a useful prefetch the first time).
+    pub fn demand_access(&mut self, block: Block, now: u64) -> LookupResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(block);
+        let _ = now;
+        for line in &mut self.sets[set] {
+            if line.valid && line.block == block {
+                line.lru = tick;
+                let first = line.prefetched;
+                if first {
+                    line.prefetched = false;
+                    self.stats.useful_prefetches += 1;
+                }
+                self.stats.hits += 1;
+                return LookupResult::Hit {
+                    first_demand_to_prefetch: first,
+                    fill_ready_cycle: line.fill_ready_cycle,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Checks presence without updating LRU, stats, or prefetch bits.
+    pub fn probe(&self, block: Block) -> bool {
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .any(|l| l.valid && l.block == block)
+    }
+
+    /// Fills `block` into the cache, evicting the LRU line if needed.
+    ///
+    /// `prefetched` marks the fill as speculative; `ready_cycle` records when
+    /// the data actually arrives (used to charge partial latency to demands
+    /// that hit a still-in-flight prefetch). Returns the evicted block, if a
+    /// valid line was displaced.
+    pub fn fill(&mut self, block: Block, prefetched: bool, ready_cycle: u64) -> Option<Block> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(block);
+
+        // Refill of a present line just refreshes metadata.
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.block == block)
+        {
+            line.lru = tick;
+            return None;
+        }
+
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let victim_idx = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let victim = &mut self.sets[set][victim_idx];
+        let evicted = if victim.valid {
+            if victim.prefetched {
+                self.stats.useless_evictions += 1;
+            }
+            Some(victim.block)
+        } else {
+            None
+        };
+        *victim = Line {
+            block,
+            valid: true,
+            lru: tick,
+            prefetched,
+            fill_ready_cycle: ready_cycle,
+        };
+        evicted
+    }
+
+    /// Invalidates `block` if present, returning whether it was found.
+    pub fn invalidate(&mut self, block: Block) -> bool {
+        let set = self.set_index(block);
+        for line in &mut self.sets[set] {
+            if line.valid && line.block == block {
+                *line = Line::INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.fill(Line::INVALID);
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways
+        Cache::new(CacheConfig::new(2, 2, 1))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.demand_access(Block(4), 0), LookupResult::Miss);
+        c.fill(Block(4), false, 0);
+        assert!(matches!(
+            c.demand_access(Block(4), 1),
+            LookupResult::Hit {
+                first_demand_to_prefetch: false,
+                ..
+            }
+        ));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Blocks 0,2,4 all map to set 0.
+        c.fill(Block(0), false, 0);
+        c.fill(Block(2), false, 0);
+        // Touch 0 so 2 becomes LRU.
+        c.demand_access(Block(0), 0);
+        let evicted = c.fill(Block(4), false, 0);
+        assert_eq!(evicted, Some(Block(2)));
+        assert!(c.probe(Block(0)));
+        assert!(c.probe(Block(4)));
+        assert!(!c.probe(Block(2)));
+    }
+
+    #[test]
+    fn useful_prefetch_counted_once() {
+        let mut c = tiny();
+        c.fill(Block(6), true, 100);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        let r = c.demand_access(Block(6), 150);
+        assert_eq!(
+            r,
+            LookupResult::Hit {
+                first_demand_to_prefetch: true,
+                fill_ready_cycle: 100
+            }
+        );
+        // Second touch is an ordinary hit.
+        assert!(matches!(
+            c.demand_access(Block(6), 151),
+            LookupResult::Hit {
+                first_demand_to_prefetch: false,
+                ..
+            }
+        ));
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn useless_prefetch_eviction_counted() {
+        let mut c = tiny();
+        c.fill(Block(0), true, 0);
+        c.fill(Block(2), false, 0);
+        c.fill(Block(4), false, 0); // evicts Block(0), never demanded
+        assert_eq!(c.stats().useless_evictions, 1);
+        assert_eq!(c.stats().useful_prefetches, 0);
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(Block(8), false, 0);
+        c.fill(Block(8), false, 0);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(Block(3), false, 0);
+        assert!(c.invalidate(Block(3)));
+        assert!(!c.probe(Block(3)));
+        assert!(!c.invalidate(Block(3)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.fill(Block(1), true, 0);
+        c.demand_access(Block(1), 0);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(*c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru_or_stats() {
+        let mut c = tiny();
+        c.fill(Block(0), false, 0);
+        c.fill(Block(2), false, 0);
+        let before = *c.stats();
+        assert!(c.probe(Block(0)));
+        assert_eq!(*c.stats(), before);
+        // Probing 0 must NOT have refreshed it: filling a conflicting block
+        // should still evict the true LRU, which is 0.
+        let evicted = c.fill(Block(4), false, 0);
+        assert_eq!(evicted, Some(Block(0)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Trace (de)serialization: a compact little-endian binary format for
+//! storing load traces on disk, mirroring the competition's
+//! trace-file-plus-prefetch-file workflow.
+//!
+//! Format: an 8-byte magic (`PFTRACE1`), a u64 record count, then one
+//! 26-byte record per load: `instr_id: u64, pc: u64, vaddr: u64, flags: u8`
+//! (bit 0 = depends-on-previous), plus a trailing XOR checksum byte per
+//! record for cheap corruption detection.
+
+use std::io::{self, Read, Write};
+
+use crate::access::{MemoryAccess, Trace};
+use crate::addr::Addr;
+
+const MAGIC: &[u8; 8] = b"PFTRACE1";
+
+/// Errors produced while decoding a trace stream.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `PFTRACE1` magic.
+    BadMagic,
+    /// A record's checksum byte did not match its contents.
+    Corrupt {
+        /// Index of the offending record.
+        record: u64,
+    },
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ReadTraceError::BadMagic => write!(f, "not a PFTRACE1 stream"),
+            ReadTraceError::Corrupt { record } => {
+                write!(f, "checksum mismatch at record {record}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u8 {
+    bytes.iter().fold(0xA5u8, |acc, &b| acc ^ b.rotate_left(1))
+}
+
+/// Writes `trace` to `w` in the `PFTRACE1` format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_sim::{read_trace, write_trace, MemoryAccess, Trace};
+///
+/// let trace: Trace = (0..10).map(|i| MemoryAccess::new(i, 0x400, i * 64)).collect();
+/// let mut buf = Vec::new();
+/// write_trace(&trace, &mut buf)?;
+/// let back = read_trace(&buf[..])?;
+/// assert_eq!(trace, back);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut rec = [0u8; 26];
+    for a in trace {
+        rec[0..8].copy_from_slice(&a.instr_id.to_le_bytes());
+        rec[8..16].copy_from_slice(&a.pc.raw().to_le_bytes());
+        rec[16..24].copy_from_slice(&a.vaddr.raw().to_le_bytes());
+        rec[24] = u8::from(a.depends_on_prev);
+        rec[25] = checksum(&rec[..25]);
+        w.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+/// Reads a `PFTRACE1` stream back into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::BadMagic`] for foreign data,
+/// [`ReadTraceError::Corrupt`] on a checksum mismatch, and
+/// [`ReadTraceError::Io`] for underlying reader failures (including
+/// truncation).
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+
+    let mut trace = Trace::new();
+    let mut rec = [0u8; 26];
+    for i in 0..count {
+        r.read_exact(&mut rec)?;
+        if checksum(&rec[..25]) != rec[25] {
+            return Err(ReadTraceError::Corrupt { record: i });
+        }
+        let mut a = MemoryAccess {
+            instr_id: u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+            pc: Addr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"))),
+            vaddr: Addr::new(u64::from_le_bytes(rec[16..24].try_into().expect("8 bytes"))),
+            depends_on_prev: false,
+        };
+        if rec[24] & 1 != 0 {
+            a = a.dependent();
+        }
+        trace.push(a);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        (0..100u64)
+            .map(|i| {
+                let a = MemoryAccess::new(i * 3, 0x400 + i % 7, i * 64 + 0x1000);
+                if i % 5 == 0 {
+                    a.dependent()
+                } else {
+                    a
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 16 + 26 * t.len());
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_data() {
+        let err = read_trace(&b"NOTATRACEFILE---"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf[16 + 26 * 3 + 5] ^= 0xFF; // flip a byte in record 3
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Corrupt { record: 3 }), "{err}");
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            ReadTraceError::Io(_)
+        ));
+    }
+}

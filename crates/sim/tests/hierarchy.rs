@@ -1,0 +1,124 @@
+//! Integration tests of the full memory hierarchy's timing behaviour.
+
+use pathfinder_sim::{
+    Block, DramConfig, DramModel, MemoryAccess, PrefetchRequest, SimConfig, Simulator, Trace,
+};
+
+fn trace_of_blocks(blocks: &[u64], gap: u64) -> Trace {
+    blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| MemoryAccess::new(i as u64 * gap, 0x400, b * 64))
+        .collect()
+}
+
+#[test]
+fn l1_l2_llc_latency_ladder() {
+    // Touch a block, then re-touch after evicting it from successively
+    // deeper levels; cycle cost must rise with depth.
+    let cfg = SimConfig::default();
+
+    // Working set sized to fit L2 but not L1D (48KB): 2000 blocks = 128KB.
+    let l2_resident: Vec<u64> = (0..2000).chain(0..2000).collect();
+    let r2 = Simulator::new(cfg).run(&trace_of_blocks(&l2_resident, 4), &[]);
+    // Second pass hits L2 (some L1 hits at the tail).
+    assert!(r2.l2_hits > 1000, "L2 should serve the second pass: {r2:?}");
+
+    // Working set sized to fit LLC (2MB) but not L2 (512KB): 20000 blocks.
+    let llc_resident: Vec<u64> = (0..20_000).chain(0..20_000).collect();
+    let r3 = Simulator::new(cfg).run(&trace_of_blocks(&llc_resident, 4), &[]);
+    assert!(
+        r3.llc_hits > 10_000,
+        "LLC should serve the second pass: hits {}",
+        r3.llc_hits
+    );
+}
+
+#[test]
+fn second_pass_over_llc_sized_set_is_faster() {
+    let cfg = SimConfig::default();
+    let set: Vec<u64> = (0..10_000).collect();
+    let once = Simulator::new(cfg).run(&trace_of_blocks(&set, 4), &[]);
+    let twice_blocks: Vec<u64> = set.iter().chain(set.iter()).copied().collect();
+    let twice = Simulator::new(cfg).run(&trace_of_blocks(&twice_blocks, 4), &[]);
+    // Per-load cycle cost must drop on the cached second pass.
+    let cost_once = once.cycles as f64 / once.loads as f64;
+    let cost_twice = twice.cycles as f64 / twice.loads as f64;
+    assert!(
+        cost_twice < cost_once * 0.75,
+        "caching should amortize: {cost_once:.1} vs {cost_twice:.1} cycles/load"
+    );
+}
+
+#[test]
+fn mshr_limit_caps_memory_level_parallelism() {
+    let mut narrow = SimConfig::default();
+    narrow.core.mshrs = 1;
+    let wide = SimConfig::default();
+
+    // Independent misses to distinct pages: parallelism matters.
+    let blocks: Vec<u64> = (0..3000).map(|i| i * 64 + 7).collect();
+    let t = trace_of_blocks(&blocks, 2);
+    let r_narrow = Simulator::new(narrow).run(&t, &[]);
+    let r_wide = Simulator::new(wide).run(&t, &[]);
+    assert!(
+        r_wide.ipc() > r_narrow.ipc() * 1.5,
+        "MSHRs gate MLP: wide {} vs narrow {}",
+        r_wide.ipc(),
+        r_narrow.ipc()
+    );
+}
+
+#[test]
+fn prefetch_shedding_under_demand_pressure() {
+    let mut dram = DramModel::new(DramConfig::default());
+    // Congest banks 0..8 with row-conflicting demand pairs (the second
+    // request keeps each bank busy far past `now`)...
+    for i in 0..8u64 {
+        dram.service(Block(i * 128), 0);
+        dram.service(Block((i + 64) * 128), 0); // same bank, different row
+    }
+    // ...then offer prefetches to those banks at time zero: they must be
+    // shed in favour of the demand traffic.
+    let mut dropped = 0;
+    for i in 0..8u64 {
+        if dram.service_prefetch(Block(i * 128 + 1), 0).is_none() {
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0, "busy banks should shed prefetches");
+    assert_eq!(dram.stats().prefetches_dropped, dropped);
+}
+
+#[test]
+fn late_prefetch_never_slower_than_no_prefetch() {
+    // A prefetch issued on the same access that demands the next block soon
+    // after must never make that demand slower than a raw miss.
+    let blocks: Vec<u64> = (0..2000).map(|i| i * 97).collect();
+    let t = trace_of_blocks(&blocks, 4);
+    let pf: Vec<PrefetchRequest> = t
+        .accesses()
+        .windows(2)
+        .map(|w| PrefetchRequest::new(w[0].instr_id, w[1].block()))
+        .collect();
+    let plain = Simulator::new(SimConfig::default()).run(&t, &[]);
+    let with_pf = Simulator::new(SimConfig::default()).run(&t, &pf);
+    assert!(
+        with_pf.cycles <= plain.cycles * 102 / 100,
+        "late prefetches must not add end-to-end cycles: {} vs {}",
+        with_pf.cycles,
+        plain.cycles
+    );
+}
+
+#[test]
+fn instruction_gaps_scale_reported_instructions() {
+    let blocks: Vec<u64> = (0..500).collect();
+    let sparse = trace_of_blocks(&blocks, 100);
+    let dense = trace_of_blocks(&blocks, 2);
+    assert!(sparse.total_instructions() > dense.total_instructions() * 40);
+    let rs = Simulator::new(SimConfig::default()).run(&sparse, &[]);
+    let rd = Simulator::new(SimConfig::default()).run(&dense, &[]);
+    assert_eq!(rs.loads, rd.loads);
+    assert!(rs.instructions > rd.instructions * 40);
+}

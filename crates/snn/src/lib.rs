@@ -1,0 +1,47 @@
+//! # pathfinder-snn
+//!
+//! A from-scratch spiking-neural-network engine reproducing the BindsNet
+//! `DiehlAndCook2015` setup the PATHFINDER paper builds on (§2.4, §3.1,
+//! Table 4): leaky-integrate-and-fire neurons, Poisson rate coding, a
+//! one-to-one inhibitory layer for lateral inhibition, adaptive thresholds,
+//! and on-line STDP learning with per-neuron weight normalization.
+//!
+//! The engine also implements the paper's 1-tick approximation (§3.4): the
+//! neuron with the highest potential after a single expected-current tick
+//! stands in for the full 32-tick winner, cutting inference cost by ~32x at
+//! almost no accuracy loss (Table 1, Figure 7).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pathfinder_snn::{DiehlCookNetwork, SnnConfig};
+//!
+//! let mut cfg = SnnConfig::default();
+//! cfg.n_input = 32;
+//! cfg.n_exc = 10;
+//! let mut net = DiehlCookNetwork::new(cfg, 7)?;
+//!
+//! // Present a 3-pixel pattern repeatedly; STDP makes one neuron own it.
+//! let mut rates = vec![0.0f32; 32];
+//! for i in [3usize, 12, 21] { rates[i] = 1.0; }
+//! let mut winner = None;
+//! for _ in 0..8 {
+//!     winner = net.present(&rates, true).winner.or(winner);
+//! }
+//! assert!(winner.is_some());
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod encoding;
+pub mod lif;
+pub mod monitor;
+pub mod network;
+
+pub use config::{LifConfig, SnnConfig, StdpConfig};
+pub use encoding::PoissonEncoder;
+pub use lif::LifLayer;
+pub use monitor::SpikeMonitor;
+pub use network::{DiehlCookNetwork, RunOutcome};

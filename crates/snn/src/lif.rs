@@ -1,0 +1,234 @@
+//! A vectorized population of leaky-integrate-and-fire neurons.
+
+use crate::config::LifConfig;
+
+/// State of one LIF population: potentials, refractory timers, and (for
+/// excitatory populations) adaptive thresholds.
+#[derive(Debug, Clone)]
+pub struct LifLayer {
+    config: LifConfig,
+    /// Membrane potentials (mV).
+    v: Vec<f32>,
+    /// Remaining refractory ticks per neuron.
+    refrac: Vec<u32>,
+    /// Adaptive threshold offsets (Diehl & Cook theta); all-zero unless
+    /// [`LifLayer::bump_theta`] is used.
+    theta: Vec<f32>,
+    /// Precomputed per-tick decay factor `exp(-dt / tc_decay)`.
+    decay: f32,
+}
+
+impl LifLayer {
+    /// Creates a population of `n` neurons at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, config: LifConfig) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        LifLayer {
+            config,
+            v: vec![config.v_rest; n],
+            refrac: vec![0; n],
+            theta: vec![0.0; n],
+            decay: (-1.0 / config.tc_decay).exp(),
+        }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether the population is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// The LIF parameters in use.
+    pub fn config(&self) -> &LifConfig {
+        &self.config
+    }
+
+    /// Current membrane potentials.
+    pub fn potentials(&self) -> &[f32] {
+        &self.v
+    }
+
+    /// Adaptive threshold offsets.
+    pub fn thetas(&self) -> &[f32] {
+        &self.theta
+    }
+
+    /// Injects synaptic current into neuron `i` (positive = excitatory).
+    ///
+    /// Refractory neurons ignore input, as in BindsNet.
+    #[inline]
+    pub fn inject(&mut self, i: usize, current: f32) {
+        if self.refrac[i] == 0 {
+            self.v[i] += current;
+        }
+    }
+
+    /// Advances one tick: decays potentials toward rest, decrements
+    /// refractory timers, and collects spikes into `spikes_out` (indices of
+    /// neurons that crossed threshold). Spiking neurons reset and enter
+    /// their refractory period.
+    pub fn step(&mut self, spikes_out: &mut Vec<usize>) {
+        spikes_out.clear();
+        let c = &self.config;
+        for i in 0..self.v.len() {
+            if self.refrac[i] > 0 {
+                self.refrac[i] -= 1;
+                continue;
+            }
+            // Leak toward rest.
+            self.v[i] = c.v_rest + (self.v[i] - c.v_rest) * self.decay;
+            if self.v[i] >= c.v_thresh + self.theta[i] {
+                spikes_out.push(i);
+                self.v[i] = c.v_reset;
+                self.refrac[i] = c.refractory;
+            }
+        }
+    }
+
+    /// Raises neuron `i`'s adaptive threshold by `theta_plus`.
+    pub fn bump_theta(&mut self, i: usize, theta_plus: f32) {
+        self.theta[i] += theta_plus;
+    }
+
+    /// Decays all adaptive thresholds by `exp(-dt/tc)`; called once per tick
+    /// for excitatory populations.
+    pub fn decay_theta(&mut self, tc_theta: f32) {
+        let d = (-1.0 / tc_theta).exp();
+        for t in &mut self.theta {
+            *t *= d;
+        }
+    }
+
+    /// Resets potentials and refractory state (not theta) for the next input
+    /// presentation, as BindsNet does between samples.
+    pub fn reset_state(&mut self) {
+        self.v.fill(self.config.v_rest);
+        self.refrac.fill(0);
+    }
+
+    /// Index of the neuron with the highest effective drive above its
+    /// threshold margin, used by the paper's 1-tick approximation:
+    /// "the neuron with the highest potential after 1 tick would have been
+    /// the first to fire" (§3.4).
+    pub fn argmax_potential(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.v.iter().enumerate() {
+            // Compare headroom-to-threshold so adaptive thresholds are
+            // honoured: a high-theta neuron needs a higher potential to win.
+            let margin = v - self.theta[i];
+            if margin > best_v {
+                best_v = margin;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LifConfig;
+
+    fn layer(n: usize) -> LifLayer {
+        LifLayer::new(n, LifConfig::excitatory())
+    }
+
+    #[test]
+    fn starts_at_rest() {
+        let l = layer(4);
+        assert!(l.potentials().iter().all(|&v| v == -65.0));
+    }
+
+    #[test]
+    fn injection_then_threshold_fires() {
+        let mut l = layer(2);
+        l.inject(0, 14.0); // -65 + 14 = -51 > -52 threshold
+        let mut spikes = Vec::new();
+        l.step(&mut spikes);
+        assert_eq!(spikes, vec![0]);
+        assert_eq!(l.potentials()[0], -60.0, "reset after spike");
+    }
+
+    #[test]
+    fn subthreshold_input_decays_away() {
+        let mut l = layer(1);
+        l.inject(0, 5.0);
+        let mut spikes = Vec::new();
+        let v1 = {
+            l.step(&mut spikes);
+            l.potentials()[0]
+        };
+        assert!(spikes.is_empty());
+        for _ in 0..1000 {
+            l.step(&mut spikes);
+        }
+        let v_final = l.potentials()[0];
+        assert!(v_final > -65.01 && v_final < v1, "decays toward rest");
+    }
+
+    #[test]
+    fn refractory_neurons_ignore_input() {
+        let mut l = layer(1);
+        l.inject(0, 20.0);
+        let mut spikes = Vec::new();
+        l.step(&mut spikes);
+        assert_eq!(spikes.len(), 1);
+        // During refractory period further input has no effect.
+        l.inject(0, 100.0);
+        l.step(&mut spikes);
+        assert!(spikes.is_empty());
+        assert_eq!(l.potentials()[0], -60.0);
+    }
+
+    #[test]
+    fn theta_raises_effective_threshold() {
+        let mut l = layer(1);
+        l.bump_theta(0, 2.0);
+        l.inject(0, 14.0); // would fire without theta
+        let mut spikes = Vec::new();
+        l.step(&mut spikes);
+        assert!(spikes.is_empty(), "theta blocks the spike");
+        l.inject(0, 3.0);
+        l.step(&mut spikes);
+        assert_eq!(spikes, vec![0], "enough drive overcomes theta");
+    }
+
+    #[test]
+    fn theta_decays() {
+        let mut l = layer(1);
+        l.bump_theta(0, 1.0);
+        for _ in 0..100 {
+            l.decay_theta(10.0);
+        }
+        assert!(l.thetas()[0] < 1e-3);
+    }
+
+    #[test]
+    fn reset_state_keeps_theta() {
+        let mut l = layer(1);
+        l.bump_theta(0, 0.5);
+        l.inject(0, 5.0);
+        l.reset_state();
+        assert_eq!(l.potentials()[0], -65.0);
+        assert_eq!(l.thetas()[0], 0.5);
+    }
+
+    #[test]
+    fn argmax_honours_theta() {
+        let mut l = layer(2);
+        l.inject(0, 5.0);
+        l.inject(1, 4.0);
+        // Neuron 0 leads on raw potential but a big theta penalizes it.
+        l.bump_theta(0, 3.0);
+        assert_eq!(l.argmax_potential(), 1);
+    }
+}

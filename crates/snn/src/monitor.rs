@@ -1,0 +1,105 @@
+//! Run-time observation of neuron behaviour, mirroring the BindsNet monitor
+//! classes the paper used to produce Figure 3 and Table 2.
+
+/// Records per-tick excitatory potentials and spikes across one or more
+/// input presentations.
+#[derive(Debug, Clone, Default)]
+pub struct SpikeMonitor {
+    n_neurons: usize,
+    /// Potentials, tick-major: `potentials[t][j]`.
+    potentials: Vec<Vec<f32>>,
+    /// Spiking neuron indices per tick.
+    spikes: Vec<Vec<usize>>,
+    /// Tick indices at which a new input presentation began.
+    interval_starts: Vec<usize>,
+}
+
+impl SpikeMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        SpikeMonitor::default()
+    }
+
+    /// Marks the start of a new input interval.
+    pub fn begin_interval(&mut self) {
+        self.interval_starts.push(self.potentials.len());
+    }
+
+    /// Records one tick of activity.
+    pub fn record_tick(&mut self, potentials: &[f32], spikes: &[usize]) {
+        self.n_neurons = potentials.len();
+        self.potentials.push(potentials.to_vec());
+        self.spikes.push(spikes.to_vec());
+    }
+
+    /// Number of ticks recorded.
+    pub fn ticks(&self) -> usize {
+        self.potentials.len()
+    }
+
+    /// Number of neurons observed.
+    pub fn n_neurons(&self) -> usize {
+        self.n_neurons
+    }
+
+    /// The potential trajectory of neuron `j` across all recorded ticks.
+    pub fn potential_series(&self, j: usize) -> Vec<f32> {
+        self.potentials.iter().map(|p| p[j]).collect()
+    }
+
+    /// All ticks at which neuron `j` spiked.
+    pub fn spike_ticks(&self, j: usize) -> Vec<usize> {
+        self.spikes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contains(&j))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Total spike count per neuron.
+    pub fn spike_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_neurons];
+        for s in &self.spikes {
+            for &j in s {
+                counts[j] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Tick indices at which input intervals began.
+    pub fn interval_starts(&self) -> &[usize] {
+        &self.interval_starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut m = SpikeMonitor::new();
+        m.begin_interval();
+        m.record_tick(&[-65.0, -60.0], &[]);
+        m.record_tick(&[-55.0, -61.0], &[0]);
+        m.begin_interval();
+        m.record_tick(&[-65.0, -59.0], &[1]);
+
+        assert_eq!(m.ticks(), 3);
+        assert_eq!(m.n_neurons(), 2);
+        assert_eq!(m.potential_series(0), vec![-65.0, -55.0, -65.0]);
+        assert_eq!(m.spike_ticks(0), vec![1]);
+        assert_eq!(m.spike_ticks(1), vec![2]);
+        assert_eq!(m.spike_counts(), vec![1, 1]);
+        assert_eq!(m.interval_starts(), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_monitor_is_sane() {
+        let m = SpikeMonitor::new();
+        assert_eq!(m.ticks(), 0);
+        assert!(m.spike_counts().is_empty());
+    }
+}

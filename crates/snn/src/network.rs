@@ -1,0 +1,613 @@
+//! The Diehl & Cook spiking network PATHFINDER is built on: an input layer
+//! rate-coding the memory-access pixel matrix, an excitatory layer learning
+//! via STDP, and a one-to-one inhibitory layer providing lateral inhibition
+//! (§3.1, Figure 1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::config::SnnConfig;
+use crate::encoding::PoissonEncoder;
+use crate::lif::LifLayer;
+use crate::monitor::SpikeMonitor;
+
+/// Everything one input presentation produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Spike count per excitatory neuron over the interval.
+    pub spike_counts: Vec<u32>,
+    /// Most-firing neuron (ties broken by earliest first spike), if any
+    /// neuron fired at all.
+    pub winner: Option<usize>,
+    /// Distinct neurons that fired, in first-fire order. Useful for
+    /// multi-degree prefetching where several neurons are allowed to fire.
+    pub fired: Vec<usize>,
+    /// Tick of the first spike in the interval.
+    pub first_fire_tick: Option<u32>,
+    /// Neuron with the highest potential after the first tick — the paper's
+    /// 1-tick approximation target (§3.4, Table 1).
+    pub first_tick_argmax: usize,
+    /// Highest end-of-interval potential among neurons other than the
+    /// winner (Table 2's "potential of the next-best neuron").
+    pub runner_up_potential: f32,
+}
+
+/// The 3-layer SNN with on-line STDP learning.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_snn::{DiehlCookNetwork, SnnConfig};
+///
+/// let mut cfg = SnnConfig::default();
+/// cfg.n_input = 16;
+/// cfg.n_exc = 4;
+/// let mut net = DiehlCookNetwork::new(cfg, 42).unwrap();
+///
+/// let mut rates = vec![0.0f32; 16];
+/// rates[3] = 1.0;
+/// rates[7] = 1.0;
+/// let out = net.present(&rates, true);
+/// assert_eq!(out.spike_counts.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiehlCookNetwork {
+    cfg: SnnConfig,
+    /// Input→excitatory weights, input-major: `w[i * n_exc + j]`.
+    weights: Vec<f32>,
+    exc: LifLayer,
+    inh: LifLayer,
+    /// Presynaptic eligibility traces (per input).
+    x_pre: Vec<f32>,
+    /// Postsynaptic eligibility traces (per excitatory neuron).
+    x_post: Vec<f32>,
+    /// Excitatory columns touched by STDP since the last normalization.
+    dirty_cols: Vec<bool>,
+    encoder: PoissonEncoder,
+    rng: StdRng,
+    trace_decay: f32,
+    /// Total input presentations so far.
+    presentations: u64,
+}
+
+impl DiehlCookNetwork {
+    /// Creates a network with uniformly random initial weights in
+    /// `[0, 0.3]` (BindsNet's DiehlAndCook2015 default), normalized to the
+    /// configured per-neuron sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `cfg` is inconsistent.
+    pub fn new(cfg: SnnConfig, seed: u64) -> Result<Self, String> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = vec![0.0f32; cfg.n_input * cfg.n_exc];
+        for w in &mut weights {
+            *w = rng.gen_range(0.0f32..0.3);
+        }
+        let mut net = DiehlCookNetwork {
+            encoder: PoissonEncoder::new(cfg.max_rate),
+            exc: LifLayer::new(cfg.n_exc, cfg.exc_lif),
+            inh: LifLayer::new(cfg.n_exc, cfg.inh_lif),
+            x_pre: vec![0.0; cfg.n_input],
+            x_post: vec![0.0; cfg.n_exc],
+            dirty_cols: vec![true; cfg.n_exc],
+            weights,
+            rng,
+            trace_decay: (-1.0 / cfg.stdp.tc_trace).exp(),
+            presentations: 0,
+            cfg,
+        };
+        net.normalize_dirty();
+        Ok(net)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SnnConfig {
+        &self.cfg
+    }
+
+    /// Input presentations processed so far.
+    pub fn presentations(&self) -> u64 {
+        self.presentations
+    }
+
+    /// Borrow of the input→excitatory weight matrix (input-major).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The incoming weights of excitatory neuron `j`.
+    pub fn neuron_weights(&self, j: usize) -> Vec<f32> {
+        (0..self.cfg.n_input)
+            .map(|i| self.weights[i * self.cfg.n_exc + j])
+            .collect()
+    }
+
+    /// Presents `rates` (pixel intensities in `[0,1]`, length `n_input`) for
+    /// one `ticks`-long interval. STDP weight updates apply only when
+    /// `learn` is true (the paper's Figure 8 duty-cycles this flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != n_input`.
+    pub fn present(&mut self, rates: &[f32], learn: bool) -> RunOutcome {
+        self.present_inner(rates, learn, None)
+    }
+
+    /// Like [`DiehlCookNetwork::present`] but records every tick into the
+    /// monitor (Figure 3 / Table 2 instrumentation).
+    pub fn present_monitored(
+        &mut self,
+        rates: &[f32],
+        learn: bool,
+        monitor: &mut SpikeMonitor,
+    ) -> RunOutcome {
+        monitor.begin_interval();
+        self.present_inner(rates, learn, Some(monitor))
+    }
+
+    fn present_inner(
+        &mut self,
+        rates: &[f32],
+        learn: bool,
+        mut monitor: Option<&mut SpikeMonitor>,
+    ) -> RunOutcome {
+        assert_eq!(
+            rates.len(),
+            self.cfg.n_input,
+            "rates length must equal n_input"
+        );
+        self.presentations += 1;
+        // Fresh state per presentation (weights and theta persist).
+        self.exc.reset_state();
+        self.inh.reset_state();
+        self.x_pre.fill(0.0);
+        self.x_post.fill(0.0);
+
+        let n_exc = self.cfg.n_exc;
+        let mut input_spikes: Vec<usize> = Vec::new();
+        let mut exc_spikes: Vec<usize> = Vec::new();
+        let mut inh_spikes: Vec<usize> = Vec::new();
+
+        let mut spike_counts = vec![0u32; n_exc];
+        let mut first_fire: Vec<Option<u32>> = vec![None; n_exc];
+        let mut fired_order: Vec<usize> = Vec::new();
+        let mut first_fire_tick: Option<u32> = None;
+
+        // The §3.4 1-tick approximation target: argmax of the *expected*
+        // first-tick drive (input rates x weights), adjusted for adaptive
+        // thresholds — computable in hardware after a single tick of
+        // expected-current injection (Table 1 compares it with the
+        // stochastic 32-tick winner).
+        let drive_scores = self.expected_drive_scores(rates);
+        let first_tick_argmax = argmax_f32(&drive_scores);
+
+        for tick in 0..self.cfg.ticks {
+            // 1. Sample this tick's input spikes.
+            self.encoder
+                .sample_tick(rates, &mut self.rng, &mut input_spikes);
+
+            // 2. Synaptic propagation: inputs drive excitatory neurons.
+            let gain = self.cfg.input_gain;
+            for &i in &input_spikes {
+                let row = &self.weights[i * n_exc..(i + 1) * n_exc];
+                for (j, &w) in row.iter().enumerate() {
+                    self.exc.inject(j, w * gain);
+                }
+            }
+            // 3. Advance the excitatory population.
+            self.exc.step(&mut exc_spikes);
+            self.exc.decay_theta(self.cfg.tc_theta_decay);
+
+            // 4. Lateral inhibition: each firing excitatory neuron drives
+            //    its one-to-one inhibitory partner, which suppresses every
+            //    *other* excitatory neuron. The suppression is injected
+            //    right away (landing on next tick's membrane state) so a
+            //    single winner can silence the rest of the population
+            //    before they cascade across threshold.
+            for &j in &exc_spikes {
+                self.inh.inject(j, self.cfg.exc_strength);
+                for k in 0..n_exc {
+                    if k != j {
+                        self.exc.inject(k, -self.cfg.inh_strength);
+                    }
+                }
+            }
+            // The inhibitory population is stepped for observability; its
+            // functional effect is the suppression applied above.
+            self.inh.step(&mut inh_spikes);
+
+            // 6. Bookkeeping.
+            for &j in &exc_spikes {
+                spike_counts[j] += 1;
+                if first_fire[j].is_none() {
+                    first_fire[j] = Some(tick);
+                    fired_order.push(j);
+                }
+                first_fire_tick.get_or_insert(tick);
+                self.exc.bump_theta(j, self.cfg.theta_plus);
+            }
+            if let Some(m) = monitor.as_deref_mut() {
+                m.record_tick(self.exc.potentials(), &exc_spikes);
+            }
+
+            // 7. STDP (PostPre): traces decay, then spikes update weights.
+            if learn {
+                self.stdp_tick(&input_spikes, &exc_spikes);
+            }
+        }
+
+        if learn {
+            self.normalize_dirty();
+        }
+
+        let winner = Self::pick_winner(&spike_counts, &first_fire, &drive_scores);
+        let runner_up_potential = self
+            .exc
+            .potentials()
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| Some(*j) != winner)
+            .map(|(_, &v)| v)
+            .fold(f32::NEG_INFINITY, f32::max);
+
+        RunOutcome {
+            spike_counts,
+            winner,
+            fired: fired_order,
+            first_fire_tick,
+            first_tick_argmax,
+            runner_up_potential,
+        }
+    }
+
+    /// Per-neuron expected *time-to-fire* scores for `rates` — the
+    /// deterministic quantity the 1-tick hardware readout computes. A
+    /// neuron fires once its accumulated drive crosses
+    /// `(v_thresh - v_rest) + theta`, so the first to fire is the one
+    /// maximizing `drive / (gap + theta)`.
+    fn expected_drive_scores(&self, rates: &[f32]) -> Vec<f32> {
+        let n_exc = self.cfg.n_exc;
+        let mut drive = vec![0.0f32; n_exc];
+        for (i, &r) in rates.iter().enumerate() {
+            if r > 0.0 {
+                let row = &self.weights[i * n_exc..(i + 1) * n_exc];
+                for (j, &w) in row.iter().enumerate() {
+                    drive[j] += r * w;
+                }
+            }
+        }
+        let gap = self.cfg.exc_lif.v_thresh - self.cfg.exc_lif.v_rest;
+        let thetas = self.exc.thetas();
+        for (j, d) in drive.iter_mut().enumerate() {
+            *d /= gap + thetas[j].max(0.0);
+        }
+        drive
+    }
+
+    fn expected_drive_argmax(&self, rates: &[f32]) -> usize {
+        argmax_f32(&self.expected_drive_scores(rates))
+    }
+
+    fn pick_winner(
+        counts: &[u32],
+        first_fire: &[Option<u32>],
+        drive_scores: &[f32],
+    ) -> Option<usize> {
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .max_by(|(a, ca), (b, cb)| {
+                ca.cmp(cb)
+                    // On equal counts prefer the earlier first spike
+                    // (note reversed operands: smaller tick wins a max_by).
+                    .then_with(|| first_fire[*b].cmp(&first_fire[*a]))
+                    // Same-tick co-firers are tied at tick granularity; a
+                    // hardware winner-take-all resolves by potential, i.e.
+                    // deterministically by drive.
+                    .then_with(|| {
+                        drive_scores[*a]
+                            .partial_cmp(&drive_scores[*b])
+                            .expect("finite drive")
+                    })
+            })
+            .map(|(j, _)| j)
+    }
+
+    fn stdp_tick(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) {
+        let n_exc = self.cfg.n_exc;
+        let stdp = self.cfg.stdp;
+        // Trace decay.
+        for x in &mut self.x_pre {
+            *x *= self.trace_decay;
+        }
+        for x in &mut self.x_post {
+            *x *= self.trace_decay;
+        }
+        // Presynaptic spikes: bump pre trace, depress synapses onto
+        // recently-fired neurons (post-before-pre).
+        for &i in input_spikes {
+            self.x_pre[i] = 1.0;
+            let row = &mut self.weights[i * n_exc..(i + 1) * n_exc];
+            for (j, w) in row.iter_mut().enumerate() {
+                let xp = self.x_post[j];
+                if xp > 1e-3 {
+                    *w = (*w - stdp.nu_pre * xp).max(0.0);
+                    self.dirty_cols[j] = true;
+                }
+            }
+        }
+        // Postsynaptic spikes: bump post trace, potentiate synapses from
+        // recently-spiked inputs (pre-before-post).
+        for &j in exc_spikes {
+            self.x_post[j] = 1.0;
+            self.dirty_cols[j] = true;
+            for i in 0..self.cfg.n_input {
+                let xp = self.x_pre[i];
+                if xp > 1e-3 {
+                    let w = &mut self.weights[i * n_exc + j];
+                    *w = (*w + stdp.nu_post * xp).min(stdp.w_max);
+                }
+            }
+        }
+    }
+
+    /// Renormalizes the incoming-weight sum of every column STDP touched to
+    /// `norm` (Table 4: 38.4), as BindsNet does after each sample.
+    fn normalize_dirty(&mut self) {
+        let n_exc = self.cfg.n_exc;
+        for j in 0..n_exc {
+            if !self.dirty_cols[j] {
+                continue;
+            }
+            self.dirty_cols[j] = false;
+            let mut sum = 0.0f32;
+            for i in 0..self.cfg.n_input {
+                sum += self.weights[i * n_exc + j];
+            }
+            if sum > 0.0 {
+                let scale = self.cfg.stdp.norm / sum;
+                for i in 0..self.cfg.n_input {
+                    self.weights[i * n_exc + j] *= scale;
+                }
+            }
+        }
+    }
+
+    /// The paper's 1-tick approximation (§3.4): injects the *expected*
+    /// synaptic current for one tick and returns the argmax-potential
+    /// neuron, avoiding the full `ticks`-long stochastic simulation.
+    ///
+    /// When `learn` is true, an approximate STDP step potentiates the
+    /// winning neuron's synapses from the active inputs (and normalizes),
+    /// preserving the continuous-learning property at 1-tick cost.
+    pub fn present_one_tick(&mut self, rates: &[f32], learn: bool) -> usize {
+        assert_eq!(
+            rates.len(),
+            self.cfg.n_input,
+            "rates length must equal n_input"
+        );
+        self.presentations += 1;
+        self.exc.reset_state();
+        let n_exc = self.cfg.n_exc;
+        let winner = self.expected_drive_argmax(rates);
+        if learn {
+            // One presentation stands for a full input interval: decay theta
+            // by the same amount the tick-by-tick path would.
+            self.exc
+                .decay_theta(self.cfg.tc_theta_decay / self.cfg.ticks as f32);
+            self.exc.bump_theta(winner, self.cfg.theta_plus);
+            for (i, &r) in rates.iter().enumerate() {
+                if r > 0.0 {
+                    let w = &mut self.weights[i * n_exc + winner];
+                    *w = (*w + self.cfg.stdp.nu_post * r).min(self.cfg.stdp.w_max);
+                }
+            }
+            self.dirty_cols[winner] = true;
+            self.normalize_dirty();
+        }
+        winner
+    }
+}
+
+/// Index of the maximum value (first on exact ties).
+fn argmax_f32(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > best_v {
+            best_v = x;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SnnConfig {
+        let mut cfg = SnnConfig {
+            n_input: 24,
+            n_exc: 8,
+            ..SnnConfig::default()
+        };
+        // Keep the same average initial weight (norm / n_input = 0.1) as
+        // the paper-sized network so the dynamics scale down faithfully,
+        // then double it so a 3-pixel pattern can reach threshold within
+        // one 32-tick interval.
+        cfg.stdp.norm = 4.8;
+        cfg
+    }
+
+    fn pattern(idxs: &[usize], n: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; n];
+        for &i in idxs {
+            v[i] = 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn weights_normalized_at_init() {
+        let cfg = small_cfg();
+        let net = DiehlCookNetwork::new(cfg, 1).unwrap();
+        for j in 0..8 {
+            let sum: f32 = net.neuron_weights(j).iter().sum();
+            assert!(
+                (sum - cfg.stdp.norm).abs() < 1e-3,
+                "column {j} sum {sum} should be norm {}",
+                cfg.stdp.norm
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_pattern_stabilizes_winner() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 7).unwrap();
+        let rates = pattern(&[2, 10, 19], 24);
+        // Train on the pattern a few times.
+        let mut last_winner = None;
+        for _ in 0..6 {
+            let out = net.present(&rates, true);
+            last_winner = out.winner.or(last_winner);
+        }
+        let trained_winner = last_winner.expect("some neuron fires after training");
+        // The same neuron should now win consistently.
+        let mut consistent = 0;
+        for _ in 0..5 {
+            let out = net.present(&rates, true);
+            if out.winner == Some(trained_winner) {
+                consistent += 1;
+            }
+        }
+        assert!(consistent >= 4, "winner should be stable, got {consistent}/5");
+    }
+
+    #[test]
+    fn different_patterns_recruit_different_neurons() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 11).unwrap();
+        let a = pattern(&[0, 1, 2], 24);
+        let b = pattern(&[20, 21, 22], 24);
+        for _ in 0..8 {
+            net.present(&a, true);
+            net.present(&b, true);
+        }
+        let wa = net.present(&a, false).winner;
+        let wb = net.present(&b, false).winner;
+        assert!(wa.is_some() && wb.is_some());
+        assert_ne!(wa, wb, "disjoint patterns should map to distinct neurons");
+    }
+
+    #[test]
+    fn stdp_concentrates_weight_on_active_inputs() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 3).unwrap();
+        let rates = pattern(&[5, 6, 7], 24);
+        let mut winner = None;
+        for _ in 0..40 {
+            let out = net.present(&rates, true);
+            winner = out.winner.or(winner);
+        }
+        let j = winner.expect("winner exists");
+        let w = net.neuron_weights(j);
+        let active: f32 = [5, 6, 7].iter().map(|&i| w[i]).sum();
+        let total: f32 = w.iter().sum();
+        assert!(
+            active / total > 3.0 * 3.0 / 24.0,
+            "active-input weight share should grow: {}",
+            active / total
+        );
+    }
+
+    #[test]
+    fn learning_disabled_freezes_weights() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 5).unwrap();
+        let rates = pattern(&[1, 12, 23], 24);
+        let before = net.weights().to_vec();
+        net.present(&rates, false);
+        assert_eq!(net.weights(), &before[..], "no-learn run must not move weights");
+    }
+
+    #[test]
+    fn lateral_inhibition_limits_firing() {
+        // With strong inhibition only one or two neurons fire per interval.
+        let mut cfg = small_cfg();
+        cfg.inh_strength = 60.0;
+        let mut net = DiehlCookNetwork::new(cfg, 9).unwrap();
+        let rates = pattern(&[3, 9, 15], 24);
+        for _ in 0..5 {
+            net.present(&rates, true);
+        }
+        let out = net.present(&rates, true);
+        assert!(
+            out.fired.len() <= 2,
+            "strong inhibition should keep firing sparse, got {:?}",
+            out.fired
+        );
+    }
+
+    #[test]
+    fn weak_inhibition_lets_multiple_neurons_fire() {
+        // The multi-degree knob (§3.4): reducing inhibition yields 2-5 firing
+        // neurons.
+        let mut cfg = small_cfg();
+        cfg.inh_strength = 0.5;
+        let mut net = DiehlCookNetwork::new(cfg, 13).unwrap();
+        let rates = pattern(&[3, 9, 15, 20], 24);
+        let mut max_fired = 0usize;
+        for _ in 0..8 {
+            let out = net.present(&rates, true);
+            max_fired = max_fired.max(out.fired.len());
+        }
+        assert!(
+            max_fired >= 2,
+            "weak inhibition should allow multiple firers, got {max_fired}"
+        );
+    }
+
+    #[test]
+    fn one_tick_mode_is_deterministic_and_learns() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 21).unwrap();
+        let rates = pattern(&[4, 11, 18], 24);
+        let w0 = net.present_one_tick(&rates, true);
+        // After learning, the same input keeps selecting the same neuron.
+        for _ in 0..5 {
+            assert_eq!(net.present_one_tick(&rates, true), w0);
+        }
+    }
+
+    #[test]
+    fn monitored_run_records_all_ticks() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 2).unwrap();
+        let rates = pattern(&[1, 2, 3], 24);
+        let mut mon = SpikeMonitor::new();
+        net.present_monitored(&rates, true, &mut mon);
+        assert_eq!(mon.ticks(), 32);
+        assert_eq!(mon.n_neurons(), 8);
+        assert_eq!(mon.interval_starts(), &[0]);
+    }
+
+    #[test]
+    fn empty_input_produces_no_spikes() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 4).unwrap();
+        let out = net.present(&vec![0.0; 24], true);
+        assert_eq!(out.winner, None);
+        assert!(out.fired.is_empty());
+        assert_eq!(out.spike_counts.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn seeded_networks_are_reproducible() {
+        let mut a = DiehlCookNetwork::new(small_cfg(), 77).unwrap();
+        let mut b = DiehlCookNetwork::new(small_cfg(), 77).unwrap();
+        let rates = pattern(&[2, 8, 14], 24);
+        for _ in 0..4 {
+            assert_eq!(a.present(&rates, true), b.present(&rates, true));
+        }
+        assert_eq!(a.weights(), b.weights());
+    }
+}

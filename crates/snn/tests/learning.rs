@@ -1,0 +1,163 @@
+//! Long-horizon learning behaviour of the SNN: capacity, noise tolerance,
+//! and the continuous-operation regressions the prefetcher depends on.
+
+use pathfinder_snn::{DiehlCookNetwork, SnnConfig};
+
+fn cfg(n_input: usize, n_exc: usize) -> SnnConfig {
+    let mut c = SnnConfig {
+        n_input,
+        n_exc,
+        ..SnnConfig::default()
+    };
+    // Keep average initial weight at the paper's 0.1 for any input size.
+    c.stdp.norm = n_input as f32 * 0.1;
+    c
+}
+
+fn pattern(idxs: &[usize], n: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; n];
+    for &i in idxs {
+        v[i] = 1.0;
+        // Enlarged-pixel flavour: neighbors at half intensity.
+        if i > 0 {
+            v[i - 1] = v[i - 1].max(0.5);
+        }
+        if i + 1 < n {
+            v[i + 1] = v[i + 1].max(0.5);
+        }
+    }
+    v
+}
+
+#[test]
+fn capacity_multiple_patterns_get_distinct_neurons() {
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 16), 5).unwrap();
+    let patterns: Vec<Vec<f32>> = (0..4)
+        .map(|k| pattern(&[k * 20 + 2, k * 20 + 9, k * 20 + 15], n_in))
+        .collect();
+    // Interleaved training.
+    for _ in 0..60 {
+        for p in &patterns {
+            net.present(p, true);
+        }
+    }
+    // Each pattern should now map to a stable, distinct winner.
+    let mut winners = Vec::new();
+    for p in &patterns {
+        let w = net.present(p, false).winner;
+        assert!(w.is_some(), "trained pattern must fire");
+        winners.push(w.unwrap());
+    }
+    let distinct: std::collections::HashSet<usize> = winners.iter().copied().collect();
+    assert!(
+        distinct.len() >= 3,
+        "4 patterns should spread across neurons: {winners:?}"
+    );
+}
+
+#[test]
+fn no_population_silence_over_long_runs() {
+    // Regression test for the unbounded-theta failure mode: ten thousand
+    // presentations of one pattern must keep the network firing.
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 12), 9).unwrap();
+    let p = pattern(&[10, 40, 70], n_in);
+    let mut silent_late = 0;
+    for i in 0..10_000 {
+        let out = net.present(&p, true);
+        if i >= 9_000 && out.winner.is_none() {
+            silent_late += 1;
+        }
+    }
+    assert!(
+        silent_late < 100,
+        "population must not go silent under continuous learning: {silent_late}/1000 silent"
+    );
+}
+
+#[test]
+fn noise_tolerance_single_pixel_shift() {
+    // §3.6: a slightly perturbed pattern often still maps to the trained
+    // neuron.
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 12), 11).unwrap();
+    let clean = pattern(&[20, 50, 80], n_in);
+    for _ in 0..80 {
+        net.present(&clean, true);
+    }
+    let trained = net.present(&clean, false).winner.expect("trained fires");
+
+    // Perturb one of three pixels by one position.
+    let noisy = pattern(&[20, 51, 80], n_in);
+    let mut same = 0;
+    for _ in 0..20 {
+        if net.present(&noisy, false).winner == Some(trained) {
+            same += 1;
+        }
+    }
+    assert!(
+        same >= 10,
+        "one-pixel noise should usually map to the same neuron: {same}/20"
+    );
+}
+
+#[test]
+fn distinct_patterns_do_not_alias() {
+    // A pattern far from the trained one must NOT map to its neuron.
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 12), 13).unwrap();
+    let a = pattern(&[5, 35, 65], n_in);
+    let b = pattern(&[15, 55, 90], n_in);
+    for _ in 0..60 {
+        net.present(&a, true);
+        net.present(&b, true);
+    }
+    let wa = net.present(&a, false).winner.unwrap();
+    let wb = net.present(&b, false).winner.unwrap();
+    assert_ne!(wa, wb, "far-apart patterns must use different neurons");
+}
+
+#[test]
+fn one_tick_and_full_interval_agree_on_trained_patterns() {
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 12), 17).unwrap();
+    let p = pattern(&[12, 48, 84], n_in);
+    for _ in 0..100 {
+        net.present(&p, true);
+    }
+    let full = net.present(&p, false);
+    let quick = net.present_one_tick(&p, false);
+    assert_eq!(
+        full.first_tick_argmax, quick,
+        "deterministic readouts must agree"
+    );
+    let mut matches = 0;
+    for _ in 0..20 {
+        let out = net.present(&p, false);
+        if out.winner == Some(out.first_tick_argmax) {
+            matches += 1;
+        }
+    }
+    assert!(
+        matches >= 12,
+        "trained pattern should mostly match the 1-tick argmax: {matches}/20"
+    );
+}
+
+#[test]
+fn learning_disabled_interval_is_pure_inference() {
+    let n_in = 96;
+    let mut net = DiehlCookNetwork::new(cfg(n_in, 12), 19).unwrap();
+    let p = pattern(&[30, 60, 90], n_in);
+    for _ in 0..50 {
+        net.present(&p, true);
+    }
+    let w_before = net.weights().to_vec();
+    let theta_presentations = net.presentations();
+    for _ in 0..25 {
+        net.present(&p, false);
+    }
+    assert_eq!(net.weights(), &w_before[..], "inference must not learn");
+    assert_eq!(net.presentations(), theta_presentations + 25);
+}

@@ -1,0 +1,145 @@
+//! `trace-tool` — generate, inspect, and characterize workload traces.
+//!
+//! ```text
+//! trace-tool generate <workload> <loads> <seed> <out.pftrace>
+//! trace-tool head     <file.pftrace> [n]
+//! trace-tool stats    <file.pftrace | workload> [loads] [seed]
+//! trace-tool list
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use pathfinder_sim::{read_trace, write_trace, Trace};
+use pathfinder_traces::Workload;
+
+fn load_or_generate(spec: &str, loads: usize, seed: u64) -> Result<Trace, String> {
+    if let Ok(w) = spec.parse::<Workload>() {
+        return Ok(w.generate(loads, seed));
+    }
+    let f = File::open(spec).map_err(|e| format!("open {spec}: {e}"))?;
+    read_trace(BufReader::new(f)).map_err(|e| format!("read {spec}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [workload, loads, seed, out] = args else {
+        return Err("usage: trace-tool generate <workload> <loads> <seed> <out>".into());
+    };
+    let w: Workload = workload.parse().map_err(|e| format!("{e}"))?;
+    let loads: usize = loads.parse().map_err(|e| format!("loads: {e}"))?;
+    let seed: u64 = seed.parse().map_err(|e| format!("seed: {e}"))?;
+    let trace = w.generate(loads, seed);
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_trace(&trace, BufWriter::new(f)).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "wrote {} loads ({} instructions) to {out}",
+        trace.len(),
+        trace.total_instructions()
+    );
+    Ok(())
+}
+
+fn cmd_head(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("usage: trace-tool head <file> [n]")?;
+    let n: usize = args
+        .get(1)
+        .map(|s| s.parse().map_err(|e| format!("n: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let trace = load_or_generate(file, n, 0)?;
+    println!("{:>12}  {:>10}  {:>18}  dep", "instr_id", "pc", "vaddr");
+    for a in trace.iter().take(n) {
+        println!(
+            "{:>12}  {:>#10x}  {:>#18x}  {}",
+            a.instr_id,
+            a.pc.raw(),
+            a.vaddr.raw(),
+            if a.depends_on_prev { "*" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let spec = args
+        .first()
+        .ok_or("usage: trace-tool stats <file|workload> [loads] [seed]")?;
+    let loads: usize = args
+        .get(1)
+        .map(|s| s.parse().map_err(|e| format!("loads: {e}")))
+        .transpose()?
+        .unwrap_or(100_000);
+    let seed: u64 = args
+        .get(2)
+        .map(|s| s.parse().map_err(|e| format!("seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let trace = load_or_generate(spec, loads, seed)?;
+
+    let mut blocks = std::collections::HashSet::new();
+    let mut pages = std::collections::HashSet::new();
+    let mut pcs = std::collections::HashSet::new();
+    let mut dependent = 0usize;
+    let mut small_deltas = 0usize;
+    for a in &trace {
+        blocks.insert(a.block().0);
+        pages.insert(a.vaddr.page().0);
+        pcs.insert(a.pc.raw());
+        if a.depends_on_prev {
+            dependent += 1;
+        }
+    }
+    for p in trace.accesses().windows(2) {
+        if p[0].block().delta(p[1].block()).abs() < 31 {
+            small_deltas += 1;
+        }
+    }
+    println!("loads                 {}", trace.len());
+    println!("total instructions    {}", trace.total_instructions());
+    println!(
+        "mean instr gap        {:.1}",
+        trace.total_instructions() as f64 / trace.len().max(1) as f64
+    );
+    println!(
+        "unique blocks         {} ({:.1} MiB footprint)",
+        blocks.len(),
+        blocks.len() as f64 * 64.0 / (1024.0 * 1024.0)
+    );
+    println!("unique pages          {}", pages.len());
+    println!("load PCs              {}", pcs.len());
+    println!(
+        "dependent loads       {} ({:.1}%)",
+        dependent,
+        dependent as f64 / trace.len().max(1) as f64 * 100.0
+    );
+    println!(
+        "deltas in (-31,31)    {} ({:.1}%)",
+        small_deltas,
+        small_deltas as f64 / trace.len().max(1) as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&argv[1..]),
+        Some("head") => cmd_head(&argv[1..]),
+        Some("stats") => cmd_stats(&argv[1..]),
+        Some("list") => {
+            for w in Workload::ALL {
+                println!("{:<24} {}", w.trace_name(), w.suite());
+            }
+            Ok(())
+        }
+        _ => Err("usage: trace-tool <generate|head|stats|list> ...".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

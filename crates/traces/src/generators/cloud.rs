@@ -1,0 +1,188 @@
+//! CloudSuite workload stand-ins: server applications with large instruction
+//! footprints (Table 5 shows 150-210M instructions per 1M loads) and mixed
+//! regular/irregular data behaviour.
+
+use pathfinder_sim::Trace;
+
+use crate::mixer::WorkloadMix;
+use crate::patterns::{
+    scaled_region, DeltaCyclePattern, GatherPattern, PointerChasePattern, StreamPattern,
+    TemporalLoopPattern,
+};
+
+/// `cassandra-phase0`: NoSQL store — skip-list memtable descents (pointer
+/// chasing), SSTable block scans (streams), and bloom-filter probes
+/// (uniform gathers).
+pub fn generate_cassandra(loads: usize, mean_gap: u64, seed: u64) -> Trace {
+    WorkloadMix::new(2, 14, mean_gap)
+        .with(
+            3.0,
+            PointerChasePattern::new(
+                (loads / 4).clamp(30_000, 400_000),
+                0x70_000_0000,
+                128,
+                0x60_1000,
+                seed ^ 0x71,
+            ),
+        )
+        .with(
+            2.5,
+            StreamPattern::new(0x71_000_0000, scaled_region(loads, 0.25, 64), 64, 0x60_1010),
+        )
+        .with(
+            2.0,
+            GatherPattern::new(0x72_000_0000, scaled_region(loads, 0.20, 256), 64, 0x60_1020),
+        )
+        .with(
+            1.5,
+            TemporalLoopPattern::new(
+                0x73_000_0000,
+                scaled_region(loads, 0.15, 64),
+                ((loads as f64 * 0.15 / 2.5) as usize).clamp(2_000, 100_000),
+                0x60_1030,
+                seed ^ 0x72,
+            ),
+        )
+        .with(
+            1.0,
+            DeltaCyclePattern::new(
+                0x74_000_0000,
+                scaled_region(loads, 0.10, 96),
+                vec![64, 128],
+                0x60_1040,
+            ),
+        )
+        .generate(loads, seed)
+}
+
+/// `cloud9-phase0`: web serving — request-buffer streaming, hot-object
+/// temporal reuse, and session-object pointer chasing.
+pub fn generate_cloud9(loads: usize, mean_gap: u64, seed: u64) -> Trace {
+    WorkloadMix::new(3, 18, mean_gap)
+        .with(
+            3.0,
+            StreamPattern::new(0x80_000_0000, scaled_region(loads, 0.30, 64), 64, 0x61_1000),
+        )
+        .with(
+            2.5,
+            TemporalLoopPattern::new(
+                0x81_000_0000,
+                scaled_region(loads, 0.25, 64),
+                ((loads as f64 * 0.25 / 2.5) as usize).clamp(2_000, 120_000),
+                0x61_1010,
+                seed ^ 0x81,
+            ),
+        )
+        .with(
+            2.0,
+            PointerChasePattern::new(
+                (loads / 5).clamp(30_000, 300_000),
+                0x82_000_0000,
+                192,
+                0x61_1020,
+                seed ^ 0x82,
+            ),
+        )
+        .with(
+            1.5,
+            DeltaCyclePattern::new(
+                0x83_000_0000,
+                scaled_region(loads, 0.15, 107),
+                vec![64, 64, 192],
+                0x61_1030,
+            ),
+        )
+        .with(
+            1.0,
+            GatherPattern::new(0x84_000_0000, scaled_region(loads, 0.10, 256), 64, 0x61_1040),
+        )
+        .generate(loads, seed)
+}
+
+/// `nutch-phase0`: search indexing — posting-list streams with short strides
+/// dominate (concentrated delta distribution), with B-tree dictionary walks
+/// as the irregular remainder.
+pub fn generate_nutch(loads: usize, mean_gap: u64, seed: u64) -> Trace {
+    WorkloadMix::new(6, 32, mean_gap)
+        .with(
+            4.0,
+            StreamPattern::new(0x90_000_0000, scaled_region(loads, 0.42, 64), 64, 0x62_1000),
+        )
+        .with(
+            2.5,
+            DeltaCyclePattern::new(
+                0x91_000_0000,
+                scaled_region(loads, 0.26, 80),
+                vec![64, 64, 128, 64],
+                0x62_1010,
+            ),
+        )
+        .with(
+            2.0,
+            PointerChasePattern::new(
+                (loads / 6).clamp(25_000, 250_000),
+                0x92_000_0000,
+                256,
+                0x62_1020,
+                seed ^ 0x91,
+            ),
+        )
+        .with(
+            1.0,
+            GatherPattern::new(0x93_000_0000, scaled_region(loads, 0.11, 256), 64, 0x62_1030),
+        )
+        .generate(loads, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_generators_produce_exact_lengths() {
+        for (t, name) in [
+            (generate_cassandra(3000, 207, 1), "cassandra"),
+            (generate_cloud9(3000, 208, 1), "cloud9"),
+            (generate_nutch(3000, 154, 1), "nutch"),
+        ] {
+            assert_eq!(t.len(), 3000, "{name}");
+        }
+    }
+
+    #[test]
+    fn cloud_gap_means_match_table5_ratio() {
+        // cassandra: 207M instructions per 1M loads.
+        let t = generate_cassandra(20_000, 207, 2);
+        let mean = t.total_instructions() as f64 / t.len() as f64;
+        assert!(
+            (mean - 207.0).abs() < 25.0,
+            "cassandra instruction gap should be ~207, got {mean}"
+        );
+    }
+
+    #[test]
+    fn nutch_is_concentrated() {
+        // Top-5 deltas should carry a large share (Table 8: 529 of 615).
+        let t = generate_nutch(30_000, 154, 2);
+        let mut counts = std::collections::HashMap::new();
+        for w in t.accesses().windows(2) {
+            *counts.entry(w[0].block().delta(w[1].block())).or_insert(0usize) += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = freq.iter().take(5).sum();
+        let total: usize = freq.iter().sum();
+        assert!(
+            top5 as f64 / total as f64 > 0.5,
+            "nutch top-5 delta share too low: {top5}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate_cloud9(2000, 208, 9),
+            generate_cloud9(2000, 208, 9)
+        );
+    }
+}

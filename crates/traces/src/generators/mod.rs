@@ -1,0 +1,5 @@
+//! Per-suite workload generators.
+
+pub mod cloud;
+pub mod gap;
+pub mod spec;

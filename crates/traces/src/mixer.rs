@@ -1,0 +1,204 @@
+//! Composes weighted [`AddressPattern`]s into a complete load trace.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use pathfinder_sim::{MemoryAccess, Trace};
+
+use crate::patterns::AddressPattern;
+
+/// A weighted mixture of address patterns plus an instruction-gap model.
+///
+/// Real programs interleave several access behaviours in bursts (a loop runs
+/// for a while, then another); `WorkloadMix` picks a component with
+/// weight-proportional probability, stays on it for a random burst length,
+/// and spaces loads apart by a randomized instruction gap whose mean is
+/// calibrated to Table 5's instructions-per-load ratio for the workload.
+pub struct WorkloadMix {
+    components: Vec<(f64, Box<dyn AddressPattern + Send>)>,
+    total_weight: f64,
+    burst_min: u32,
+    burst_max: u32,
+    mean_instr_gap: u64,
+}
+
+impl std::fmt::Debug for WorkloadMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadMix")
+            .field("components", &self.components.len())
+            .field("burst", &(self.burst_min..self.burst_max))
+            .field("mean_instr_gap", &self.mean_instr_gap)
+            .finish()
+    }
+}
+
+impl WorkloadMix {
+    /// Creates an empty mix with the given burst-length range and mean
+    /// instruction gap between consecutive loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_min == 0`, `burst_max < burst_min`, or
+    /// `mean_instr_gap == 0`.
+    pub fn new(burst_min: u32, burst_max: u32, mean_instr_gap: u64) -> Self {
+        assert!(burst_min >= 1 && burst_max >= burst_min, "invalid burst range");
+        assert!(mean_instr_gap >= 1, "instruction gap must be positive");
+        WorkloadMix {
+            components: Vec::new(),
+            total_weight: 0.0,
+            burst_min,
+            burst_max,
+            mean_instr_gap,
+        }
+    }
+
+    /// Adds a pattern with the given selection weight; returns `self` for
+    /// chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite.
+    pub fn with(mut self, weight: f64, pattern: impl AddressPattern + Send + 'static) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        self.total_weight += weight;
+        self.components.push((weight, Box::new(pattern)));
+        self
+    }
+
+    /// Number of component patterns.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mix has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        let mut x = rng.gen_range(0.0..self.total_weight);
+        for (i, (w, _)) in self.components.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        self.components.len() - 1
+    }
+
+    /// Generates a trace of `loads` accesses, deterministically for a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has no components.
+    pub fn generate(mut self, loads: usize, seed: u64) -> Trace {
+        assert!(!self.components.is_empty(), "mix needs at least one pattern");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = Trace::new();
+        let mut instr_id = 0u64;
+        let mut emitted = 0usize;
+
+        while emitted < loads {
+            let comp = self.pick(&mut rng);
+            let burst = rng.gen_range(self.burst_min..=self.burst_max) as usize;
+            let burst = burst.min(loads - emitted);
+            for step in 0..burst {
+                let (_, pattern) = &mut self.components[comp];
+                let vaddr = pattern.next_addr(&mut rng);
+                let pc = pattern.pc();
+                let mut access = MemoryAccess::new(instr_id, pc, vaddr);
+                // Within a burst, a dependent pattern's loads chain on each
+                // other; the first load of the burst computes its address
+                // from already-available data.
+                if step > 0 && pattern.is_dependent() {
+                    access = access.dependent();
+                }
+                trace.push(access);
+                // Uniform in [1, 2*mean) has mean ~= mean_instr_gap.
+                let gap = rng.gen_range(1..=self.mean_instr_gap * 2 - 1);
+                instr_id += gap;
+                emitted += 1;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::StreamPattern;
+
+    fn stream(pc: u64) -> StreamPattern {
+        StreamPattern::new(pc << 20, 1 << 18, 64, pc)
+    }
+
+    #[test]
+    fn generates_requested_load_count() {
+        let t = WorkloadMix::new(1, 8, 50)
+            .with(1.0, stream(1))
+            .with(2.0, stream(2))
+            .generate(1000, 7);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn instruction_ids_strictly_increase() {
+        let t = WorkloadMix::new(1, 4, 30)
+            .with(1.0, stream(1))
+            .generate(500, 9);
+        let ids: Vec<u64> = t.iter().map(|a| a.instr_id).collect();
+        assert!(ids.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn mean_gap_matches_configuration() {
+        let mean = 65u64;
+        let t = WorkloadMix::new(1, 4, mean)
+            .with(1.0, stream(1))
+            .generate(20_000, 11);
+        let observed = t.total_instructions() as f64 / t.len() as f64;
+        assert!(
+            (observed - mean as f64).abs() < mean as f64 * 0.1,
+            "observed mean gap {observed}, expected ~{mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadMix::new(1, 8, 50)
+            .with(1.0, stream(1))
+            .with(1.0, stream(2))
+            .generate(200, 5);
+        let b = WorkloadMix::new(1, 8, 50)
+            .with(1.0, stream(1))
+            .with(1.0, stream(2))
+            .generate(200, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadMix::new(1, 8, 50)
+            .with(1.0, stream(1))
+            .with(1.0, stream(2))
+            .generate(200, 5);
+        let b = WorkloadMix::new(1, 8, 50)
+            .with(1.0, stream(1))
+            .with(1.0, stream(2))
+            .generate(200, 6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weights_bias_component_selection() {
+        // Component 2 has 9x the weight; its PC should dominate.
+        let t = WorkloadMix::new(1, 1, 10)
+            .with(1.0, stream(1))
+            .with(9.0, stream(2))
+            .generate(5000, 3);
+        let pc2 = t.iter().filter(|a| a.pc.raw() == 2).count();
+        assert!(pc2 > 4000, "heavy component should dominate, got {pc2}");
+    }
+}

@@ -1,0 +1,490 @@
+//! Reusable access-pattern building blocks.
+//!
+//! Every synthetic workload in this crate is composed from a handful of
+//! archetypal memory behaviours: sequential streams, fixed- and multi-stride
+//! walks, randomized pointer chases, random gathers within a region, and
+//! binary-heap index walks. Each block is a small state machine that yields
+//! the next virtual address on demand; the per-workload generators in
+//! [`crate::generators`] mix them with workload-specific probabilities.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A source of virtual addresses with workload-archetype semantics.
+pub trait AddressPattern {
+    /// Produces the next virtual address.
+    fn next_addr(&mut self, rng: &mut StdRng) -> u64;
+
+    /// The program counter associated with this pattern's load instruction.
+    ///
+    /// Patterns model one load site (or a small set); PATHFINDER and SPP both
+    /// key their tables on the PC, so stable PCs per pattern matter.
+    fn pc(&self) -> u64;
+
+    /// Whether consecutive loads of this pattern form an address-dependence
+    /// chain (pointer chasing): the simulator serializes such loads, which
+    /// is what makes irregular workloads memory-bound.
+    fn is_dependent(&self) -> bool {
+        false
+    }
+}
+
+/// Sizes a walker's region so that, over a `loads`-long trace in which the
+/// walker gets roughly `share` of the accesses, it re-traverses its data
+/// about 2-3 times — the loop-over-data-structure reuse that real benchmarks
+/// exhibit and that temporal prefetchers (SISB, Voyager) depend on.
+///
+/// The result is clamped to `[3 MiB, 96 MiB]`: always larger than the 2 MiB
+/// LLC (so re-traversals keep missing) and never so large that one lap
+/// exceeds the trace.
+pub fn scaled_region(loads: usize, share: f64, step_bytes: u64) -> u64 {
+    const MIN: u64 = 3 << 20;
+    const MAX: u64 = 96 << 20;
+    let lap = loads as f64 * share * step_bytes as f64 / 2.5;
+    (lap as u64).clamp(MIN, MAX)
+}
+
+/// Sequential stream through a region: `base, base+stride, base+2*stride, …`,
+/// wrapping at the region end.
+///
+/// # Examples
+///
+/// ```
+/// use pathfinder_traces::patterns::{AddressPattern, StreamPattern};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut s = StreamPattern::new(0x1000, 0x10_0000, 64, 0x400);
+/// assert_eq!(s.next_addr(&mut rng), 0x1000);
+/// assert_eq!(s.next_addr(&mut rng), 0x1040);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPattern {
+    base: u64,
+    len: u64,
+    stride: i64,
+    pos: u64,
+    pc: u64,
+}
+
+impl StreamPattern {
+    /// Creates a stream over `[base, base+len)` advancing by `stride` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `stride == 0`.
+    pub fn new(base: u64, len: u64, stride: i64, pc: u64) -> Self {
+        assert!(len > 0, "stream region must be non-empty");
+        assert!(stride != 0, "stream stride must be nonzero");
+        StreamPattern {
+            base,
+            len,
+            stride,
+            pos: 0,
+            pc,
+        }
+    }
+}
+
+impl AddressPattern for StreamPattern {
+    fn next_addr(&mut self, _rng: &mut StdRng) -> u64 {
+        let addr = self.base + self.pos;
+        let next = self.pos as i64 + self.stride;
+        self.pos = if next < 0 || next as u64 >= self.len {
+            0
+        } else {
+            next as u64
+        };
+        addr
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+}
+
+/// Walks a region with a repeating cycle of strides (e.g. `{+1,+2,+3}` block
+/// deltas), modelling the delta patterns PATHFINDER is designed to learn.
+#[derive(Debug, Clone)]
+pub struct DeltaCyclePattern {
+    base: u64,
+    len: u64,
+    deltas: Vec<i64>,
+    idx: usize,
+    pos: u64,
+    pc: u64,
+}
+
+impl DeltaCyclePattern {
+    /// Creates a walker over `[base, base+len)` applying `deltas` (in bytes)
+    /// round-robin, restarting from the region base on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is empty or `len == 0`.
+    pub fn new(base: u64, len: u64, deltas: Vec<i64>, pc: u64) -> Self {
+        assert!(!deltas.is_empty(), "need at least one delta");
+        assert!(len > 0, "region must be non-empty");
+        DeltaCyclePattern {
+            base,
+            len,
+            deltas,
+            idx: 0,
+            pos: 0,
+            pc,
+        }
+    }
+}
+
+impl AddressPattern for DeltaCyclePattern {
+    fn next_addr(&mut self, _rng: &mut StdRng) -> u64 {
+        let addr = self.base + self.pos;
+        let d = self.deltas[self.idx];
+        self.idx = (self.idx + 1) % self.deltas.len();
+        let next = self.pos as i64 + d;
+        self.pos = if next < 0 || next as u64 >= self.len {
+            0
+        } else {
+            next as u64
+        };
+        addr
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+}
+
+/// Pointer chase through a randomized permutation cycle: each element names
+/// the next, so consecutive addresses are decorrelated — the archetypal
+/// `mcf`-style irregular pattern no delta prefetcher can capture.
+#[derive(Debug, Clone)]
+pub struct PointerChasePattern {
+    /// next[i] = index of the node after node i.
+    next: Vec<u32>,
+    cur: u32,
+    base: u64,
+    node_bytes: u64,
+    pc: u64,
+}
+
+impl PointerChasePattern {
+    /// Builds a single-cycle random permutation of `nodes` nodes laid out at
+    /// `base` with `node_bytes` per node (Sattolo's algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn new(nodes: usize, base: u64, node_bytes: u64, pc: u64, seed: u64) -> Self {
+        assert!(nodes >= 2, "pointer chase needs at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..nodes as u32).collect();
+        // Sattolo: a single cycle visiting every node.
+        for i in (1..nodes).rev() {
+            let j = rng.gen_range(0..i);
+            perm.swap(i, j);
+        }
+        let mut next = vec![0u32; nodes];
+        for i in 0..nodes {
+            next[perm[i] as usize] = perm[(i + 1) % nodes] as usize as u32;
+        }
+        PointerChasePattern {
+            next,
+            cur: 0,
+            base,
+            node_bytes,
+            pc,
+        }
+    }
+
+    /// Number of nodes in the chain.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Whether the chain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+}
+
+impl AddressPattern for PointerChasePattern {
+    fn next_addr(&mut self, _rng: &mut StdRng) -> u64 {
+        let addr = self.base + self.cur as u64 * self.node_bytes;
+        self.cur = self.next[self.cur as usize];
+        addr
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn is_dependent(&self) -> bool {
+        true
+    }
+}
+
+/// Uniform random gathers within a region — vector-indexed loads (`soplex`
+/// dense vectors, hash probes).
+#[derive(Debug, Clone)]
+pub struct GatherPattern {
+    base: u64,
+    len: u64,
+    align: u64,
+    pc: u64,
+}
+
+impl GatherPattern {
+    /// Creates a gather over `[base, base+len)` aligned to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `align == 0`.
+    pub fn new(base: u64, len: u64, align: u64, pc: u64) -> Self {
+        assert!(len > 0 && align > 0, "region and alignment must be nonzero");
+        GatherPattern {
+            base,
+            len,
+            align,
+            pc,
+        }
+    }
+}
+
+impl AddressPattern for GatherPattern {
+    fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
+        let slots = self.len / self.align;
+        let slot = rng.gen_range(0..slots.max(1));
+        self.base + slot * self.align
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+}
+
+/// Binary-heap index walk: repeated sift-down paths from the root, touching
+/// elements `1, 2·i or 2·i+1, …` — `omnetpp`'s event-queue archetype.
+#[derive(Debug, Clone)]
+pub struct HeapWalkPattern {
+    base: u64,
+    elem_bytes: u64,
+    heap_elems: u64,
+    cur: u64,
+    pc: u64,
+}
+
+impl HeapWalkPattern {
+    /// Creates a heap walk over `heap_elems` elements of `elem_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_elems < 2` or `elem_bytes == 0`.
+    pub fn new(base: u64, heap_elems: u64, elem_bytes: u64, pc: u64) -> Self {
+        assert!(heap_elems >= 2 && elem_bytes > 0, "heap must be non-trivial");
+        HeapWalkPattern {
+            base,
+            elem_bytes,
+            heap_elems,
+            cur: 1,
+            pc,
+        }
+    }
+}
+
+impl AddressPattern for HeapWalkPattern {
+    fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
+        let addr = self.base + self.cur * self.elem_bytes;
+        let child = self.cur * 2 + u64::from(rng.gen_bool(0.5));
+        self.cur = if child >= self.heap_elems { 1 } else { child };
+        addr
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn is_dependent(&self) -> bool {
+        // Sift-down compares parent and child values before descending.
+        true
+    }
+}
+
+/// Temporally correlated re-reference stream: replays a fixed sequence of
+/// irregular addresses over and over. Rule-based delta prefetchers see noise,
+/// but temporal prefetchers (SISB) capture it exactly — the `xalan`-style
+/// archetype where record-and-replay wins.
+#[derive(Debug, Clone)]
+pub struct TemporalLoopPattern {
+    sequence: Vec<u64>,
+    idx: usize,
+    pc: u64,
+}
+
+impl TemporalLoopPattern {
+    /// Builds a loop of roughly `len` block addresses in
+    /// `[base, base+region)`: random jump targets followed by short
+    /// sequential runs (2-6 blocks), modelling linked nodes that an
+    /// allocator placed contiguously — so spatial prefetchers get partial
+    /// credit while only temporal replay captures the jump structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `region < 64`.
+    pub fn new(base: u64, region: u64, len: usize, pc: u64, seed: u64) -> Self {
+        assert!(len > 0, "sequence must be non-empty");
+        assert!(region >= 64, "region must hold at least one block");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = region / 64;
+        let mut sequence = Vec::with_capacity(len + 6);
+        while sequence.len() < len {
+            let start = rng.gen_range(0..blocks);
+            let run = rng.gen_range(2..=6).min(blocks - start);
+            for b in start..start + run {
+                sequence.push(base + b * 64);
+            }
+        }
+        TemporalLoopPattern {
+            sequence,
+            idx: 0,
+            pc,
+        }
+    }
+
+    /// Length of the repeating sequence.
+    pub fn sequence_len(&self) -> usize {
+        self.sequence.len()
+    }
+}
+
+impl AddressPattern for TemporalLoopPattern {
+    fn next_addr(&mut self, _rng: &mut StdRng) -> u64 {
+        let addr = self.sequence[self.idx];
+        self.idx = (self.idx + 1) % self.sequence.len();
+        addr
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn is_dependent(&self) -> bool {
+        // Models linked-structure traversals (DOM walks, session objects):
+        // the repeating order *is* the pointer order.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn stream_wraps_at_region_end() {
+        let mut r = rng();
+        let mut s = StreamPattern::new(0, 128, 64, 1);
+        assert_eq!(s.next_addr(&mut r), 0);
+        assert_eq!(s.next_addr(&mut r), 64);
+        assert_eq!(s.next_addr(&mut r), 0, "wraps");
+    }
+
+    #[test]
+    fn negative_stride_stream() {
+        let mut r = rng();
+        let mut s = StreamPattern::new(0, 256, -64, 1);
+        // Starts at 0; negative step wraps to 0 again immediately.
+        assert_eq!(s.next_addr(&mut r), 0);
+        assert_eq!(s.next_addr(&mut r), 0);
+    }
+
+    #[test]
+    fn delta_cycle_repeats_pattern() {
+        let mut r = rng();
+        let mut p = DeltaCyclePattern::new(0, 1 << 20, vec![64, 128, 192], 1);
+        let a0 = p.next_addr(&mut r);
+        let a1 = p.next_addr(&mut r);
+        let a2 = p.next_addr(&mut r);
+        let a3 = p.next_addr(&mut r);
+        assert_eq!(a1 - a0, 64);
+        assert_eq!(a2 - a1, 128);
+        assert_eq!(a3 - a2, 192);
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node() {
+        let mut r = rng();
+        let n = 64;
+        let mut p = PointerChasePattern::new(n, 0, 64, 1, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            seen.insert(p.next_addr(&mut r));
+        }
+        assert_eq!(seen.len(), n, "single cycle visits all nodes");
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic_per_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut a = PointerChasePattern::new(32, 0, 64, 1, 3);
+        let mut b = PointerChasePattern::new(32, 0, 64, 1, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_addr(&mut r1), b.next_addr(&mut r2));
+        }
+    }
+
+    #[test]
+    fn gather_stays_in_region() {
+        let mut r = rng();
+        let mut g = GatherPattern::new(0x1000, 0x2000, 8, 1);
+        for _ in 0..1000 {
+            let a = g.next_addr(&mut r);
+            assert!((0x1000..0x3000).contains(&a));
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn heap_walk_descends_and_restarts() {
+        let mut r = rng();
+        let mut h = HeapWalkPattern::new(0, 8, 64, 1);
+        let mut indices = Vec::new();
+        for _ in 0..10 {
+            indices.push(h.next_addr(&mut r) / 64);
+        }
+        // All indices within heap, and the walk revisits the root.
+        assert!(indices.iter().all(|&i| i >= 1 && i < 8));
+        assert!(indices.iter().filter(|&&i| i == 1).count() >= 2);
+    }
+
+    #[test]
+    fn temporal_loop_replays_exactly() {
+        let mut r = rng();
+        let mut t = TemporalLoopPattern::new(0, 1 << 20, 16, 1, 99);
+        let period = t.sequence_len();
+        assert!(period >= 16);
+        let first: Vec<u64> = (0..period).map(|_| t.next_addr(&mut r)).collect();
+        let second: Vec<u64> = (0..period).map(|_| t.next_addr(&mut r)).collect();
+        assert_eq!(first, second, "sequence repeats identically");
+    }
+
+    #[test]
+    fn temporal_loop_has_spatial_runs() {
+        let mut r = rng();
+        let mut t = TemporalLoopPattern::new(0, 1 << 22, 500, 1, 5);
+        let addrs: Vec<u64> = (0..500).map(|_| t.next_addr(&mut r)).collect();
+        let sequential = addrs
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 64)
+            .count();
+        assert!(
+            sequential > 200,
+            "allocator-style runs expected, got {sequential}/499 sequential steps"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Statistical characterization of the synthetic workloads: the properties
+//! the paper's Tables 7/8 and §5 discussion rely on.
+
+use std::collections::HashMap;
+
+use pathfinder_traces::Workload;
+
+const LOADS: usize = 30_000;
+const SEED: u64 = 7;
+
+fn dependence_share(w: Workload) -> f64 {
+    let t = w.generate(LOADS, SEED);
+    let dep = t.iter().filter(|a| a.depends_on_prev).count();
+    dep as f64 / t.len() as f64
+}
+
+#[test]
+fn pointer_chasing_workloads_are_dependence_heavy() {
+    let mcf = dependence_share(Workload::Mcf);
+    let sphinx = dependence_share(Workload::Sphinx);
+    assert!(mcf > 0.4, "mcf dependence share {mcf}");
+    assert!(sphinx < 0.15, "sphinx dependence share {sphinx}");
+    assert!(mcf > 3.0 * sphinx, "mcf {mcf} vs sphinx {sphinx}");
+}
+
+#[test]
+fn graph_workloads_mark_indexed_reads_dependent() {
+    for w in [Workload::Bfs10, Workload::Cc5] {
+        let share = dependence_share(w);
+        assert!(
+            (0.1..0.9).contains(&share),
+            "{w}: graph loads mix streams and indexed reads, got {share}"
+        );
+    }
+}
+
+#[test]
+fn small_delta_fraction_orders_like_table7() {
+    // Table 7's shape: stream-heavy traces keep far more deltas within
+    // (-31,31) than pointer-chasing ones.
+    let frac = |w: Workload| {
+        let t = w.generate(LOADS, SEED);
+        let small = t
+            .accesses()
+            .windows(2)
+            .filter(|p| p[0].block().delta(p[1].block()).abs() < 31)
+            .count();
+        small as f64 / t.len() as f64
+    };
+    let sphinx = frac(Workload::Sphinx);
+    let bfs = frac(Workload::Bfs10);
+    let mcf = frac(Workload::Mcf);
+    assert!(sphinx > 0.5, "sphinx {sphinx}");
+    assert!(bfs > 0.3, "bfs {bfs}");
+    assert!(mcf < sphinx, "mcf {mcf} should trail sphinx {sphinx}");
+}
+
+#[test]
+fn distinct_deltas_are_few_like_table8() {
+    // Table 8: the number of distinct (PC, page)-qualified deltas per 1K
+    // accesses is small relative to the delta count for every trace.
+    for w in Workload::ALL {
+        let t = w.generate(10_000, SEED);
+        let mut per_window_distinct = Vec::new();
+        let mut last: HashMap<(u64, u64), u8> = HashMap::new();
+        for chunk in t.accesses().chunks(1000) {
+            let mut counts: HashMap<i16, usize> = HashMap::new();
+            for a in chunk {
+                let key = (a.pc.raw(), a.vaddr.page().0);
+                let off = a.vaddr.page_offset_blocks();
+                if let Some(prev) = last.insert(key, off) {
+                    let d = off as i16 - prev as i16;
+                    if d != 0 {
+                        *counts.entry(d).or_insert(0) += 1;
+                    }
+                }
+            }
+            per_window_distinct.push(counts.len());
+        }
+        let avg =
+            per_window_distinct.iter().sum::<usize>() as f64 / per_window_distinct.len() as f64;
+        assert!(
+            avg < 250.0,
+            "{w}: distinct page-local deltas per 1K should be few, got {avg}"
+        );
+    }
+}
+
+#[test]
+fn workloads_use_multiple_pcs() {
+    // PATHFINDER/SPP/SISB all key on the PC; each workload must expose a
+    // stable, small set of load sites.
+    for w in Workload::ALL {
+        let t = w.generate(5_000, SEED);
+        let pcs: std::collections::HashSet<u64> = t.iter().map(|a| a.pc.raw()).collect();
+        assert!(
+            (2..=64).contains(&pcs.len()),
+            "{w}: expected a handful of load PCs, got {}",
+            pcs.len()
+        );
+    }
+}
+
+#[test]
+fn footprints_exceed_the_llc() {
+    // Every workload's block footprint must exceed the 2 MiB LLC (32K
+    // blocks) at evaluation scale, or there would be nothing to prefetch.
+    for w in Workload::ALL {
+        let t = w.generate(100_000, SEED);
+        let blocks: std::collections::HashSet<u64> = t.iter().map(|a| a.block().0).collect();
+        // (The graph workloads only partially explore their graphs at this
+        // scale; at the paper's 1M loads every footprint is several x LLC.)
+        assert!(
+            blocks.len() > 8_192,
+            "{w}: footprint {} blocks is too cache-friendly",
+            blocks.len()
+        );
+    }
+}
+
+#[test]
+fn reuse_exists_at_scale() {
+    // ...but traces also re-reference data (loops), which temporal
+    // prefetchers need: unique blocks must be well below total loads.
+    for w in [Workload::Xalan, Workload::Cc5, Workload::Cloud9] {
+        let t = w.generate(100_000, SEED);
+        let blocks: std::collections::HashSet<u64> = t.iter().map(|a| a.block().0).collect();
+        assert!(
+            (blocks.len() as f64) < 0.9 * t.len() as f64,
+            "{w}: no reuse ({} unique of {})",
+            blocks.len(),
+            t.len()
+        );
+    }
+}
+
+#[test]
+fn table5_instruction_ratios_hold_at_scale() {
+    for w in [Workload::Cc5, Workload::Cassandra, Workload::Astar] {
+        let t = w.generate(20_000, SEED);
+        let ratio = t.total_instructions() as f64 / t.len() as f64;
+        let expected = w.instructions_per_load() as f64;
+        assert!(
+            (ratio - expected).abs() < expected * 0.15,
+            "{w}: instruction ratio {ratio} vs Table 5's {expected}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Explores the §3.4 ensemble design space: PATHFINDER alone, PATHFINDER
+//! with next-line fill, with SISB fill, and the paper's best design point
+//! (PF + NL + SISB) — reporting how often the neural prediction wins the
+//! slot (the paper reports 80-99%).
+//!
+//! ```text
+//! cargo run --release --example ensemble_explorer -- 30000
+//! ```
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher};
+use pathfinder_prefetch::{
+    generate_prefetches, EnsemblePrefetcher, NextLinePrefetcher, Prefetcher, SisbPrefetcher,
+};
+use pathfinder_sim::{SimConfig, Simulator, Trace};
+use pathfinder_traces::Workload;
+
+fn pathfinder() -> Result<PathfinderPrefetcher, String> {
+    PathfinderPrefetcher::new(PathfinderConfig::default())
+}
+
+fn run(name: &str, p: &mut dyn Prefetcher, trace: &Trace, baseline_misses: u64) {
+    let schedule = generate_prefetches(p, trace, 2);
+    let report = Simulator::new(SimConfig::default()).run(trace, &schedule);
+    println!(
+        "{name:<14} IPC {:>6.3}  accuracy {:>5.1}%  coverage {:>5.1}%  issued {:>8}",
+        report.ipc(),
+        report.accuracy() * 100.0,
+        report.coverage(baseline_misses) * 100.0,
+        report.prefetches_requested,
+    );
+}
+
+fn main() -> Result<(), String> {
+    let loads: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().map_err(|e| format!("loads: {e}")))
+        .transpose()?
+        .unwrap_or(30_000);
+
+    for workload in [Workload::Xalan, Workload::Mcf] {
+        let trace = workload.generate(loads, 42);
+        let baseline = Simulator::new(SimConfig::default()).run(&trace, &[]);
+        println!(
+            "\n== {workload} ({loads} loads, baseline IPC {:.3}, {} LLC misses) ==",
+            baseline.ipc(),
+            baseline.llc_misses
+        );
+
+        run("PATHFINDER", &mut pathfinder()?, &trace, baseline.llc_misses);
+
+        let mut pf_nl = EnsemblePrefetcher::new("PF+NL", 2)
+            .with(pathfinder()?)
+            .with(NextLinePrefetcher::new());
+        run("PF+NL", &mut pf_nl, &trace, baseline.llc_misses);
+        println!(
+            "               (neural share of slots: {:.1}%)",
+            pf_nl.primary_share() * 100.0
+        );
+
+        let mut pf_sisb = EnsemblePrefetcher::new("PF+SISB", 2)
+            .with(pathfinder()?)
+            .with(SisbPrefetcher::new(2));
+        run("PF+SISB", &mut pf_sisb, &trace, baseline.llc_misses);
+
+        let mut full = EnsemblePrefetcher::new("PF+NL+SISB", 2)
+            .with(pathfinder()?)
+            .with(NextLinePrefetcher::new())
+            .with(SisbPrefetcher::new(2));
+        run("PF+NL+SISB", &mut full, &trace, baseline.llc_misses);
+        println!(
+            "               (neural share of slots: {:.1}%)",
+            full.primary_share() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! A miniature Figure 4: every prefetcher on a chosen workload, with the
+//! §4.5 metrics. Pass a trace name and optional load count:
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout -- 605-mcf-s1 50000
+//! ```
+
+use pathfinder_harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_traces::Workload;
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let workload: Workload = args
+        .next()
+        .unwrap_or_else(|| "cc-5".to_string())
+        .parse()
+        .map_err(|e| format!("{e} (try e.g. cc-5, 605-mcf-s1, 623-xalan-s1)"))?;
+    let loads: usize = args
+        .next()
+        .map(|s| s.parse().map_err(|e| format!("loads: {e}")))
+        .transpose()?
+        .unwrap_or(50_000);
+
+    println!("workload {workload}, {loads} loads\n");
+    let scenario = Scenario::with_loads(loads);
+    let evals = scenario.evaluate_all(&PrefetcherKind::figure4_lineup(), workload);
+
+    let base_ipc = evals[0].ipc();
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>9} {:>10}",
+        "prefetcher", "IPC", "speedup", "accuracy", "coverage", "issued"
+    );
+    for e in &evals {
+        println!(
+            "{:<12} {:>7.3} {:>8.1}% {:>8.1}% {:>8.1}% {:>10}",
+            e.prefetcher,
+            e.ipc(),
+            (e.ipc() / base_ipc - 1.0) * 100.0,
+            e.accuracy() * 100.0,
+            e.coverage() * 100.0,
+            e.issued()
+        );
+    }
+
+    let best = evals
+        .iter()
+        .max_by(|a, b| a.ipc().partial_cmp(&b.ipc()).expect("finite IPC"))
+        .expect("non-empty line-up");
+    println!("\nbest on {workload}: {}", best.prefetcher);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a PATHFINDER, run it on a synthetic workload, and
+//! compare it against no-prefetching through the full two-phase pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher};
+use pathfinder_prefetch::{generate_prefetches, Prefetcher};
+use pathfinder_sim::{SimConfig, Simulator};
+use pathfinder_traces::Workload;
+
+fn main() -> Result<(), String> {
+    // 1. A workload trace. The generators mirror the paper's Table 5 set;
+    //    bfs-10 mixes streaming neighbor lists with scattered visited-bitmap
+    //    probes.
+    let loads = 100_000;
+    let trace = Workload::Bfs10.generate(loads, 42);
+    println!(
+        "trace: {} loads, {} total instructions",
+        trace.len(),
+        trace.total_instructions()
+    );
+
+    // 2. Phase one (competition workflow): run the prefetcher offline over
+    //    the load trace to produce a prefetch schedule.
+    let config = PathfinderConfig::default(); // Figure 4 configuration
+    let mut pathfinder = PathfinderPrefetcher::new(config)?;
+    let schedule = generate_prefetches(&mut pathfinder, &trace, 2);
+    let stats = *pathfinder.stats();
+    println!(
+        "pathfinder: {} SNN queries, {} labels assigned, {} prefetches",
+        stats.snn_queries, stats.labels_assigned, stats.prefetches_issued
+    );
+
+    // 3. Phase two: timed replay through the Table 3 memory hierarchy.
+    let baseline = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    let prefetched = Simulator::new(SimConfig::default()).run(&trace, &schedule);
+
+    println!("\n              {:>12} {:>12}", "no prefetch", "PATHFINDER");
+    println!(
+        "IPC           {:>12.3} {:>12.3}",
+        baseline.ipc(),
+        prefetched.ipc()
+    );
+    println!(
+        "LLC misses    {:>12} {:>12}",
+        baseline.llc_misses, prefetched.llc_misses
+    );
+    println!(
+        "accuracy      {:>12} {:>11.1}%",
+        "-",
+        prefetched.accuracy() * 100.0
+    );
+    println!(
+        "coverage      {:>12} {:>11.1}%",
+        "-",
+        prefetched.coverage(baseline.llc_misses) * 100.0
+    );
+    println!(
+        "\nspeedup: {:.2}%",
+        (prefetched.ipc() / baseline.ipc() - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Every stochastic component must be bit-for-bit reproducible for a seed:
+//! the experiments in EXPERIMENTS.md are only meaningful if reruns agree.
+
+use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher};
+use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_suite::prefetch::{generate_prefetches, Prefetcher, PythiaPrefetcher};
+use pathfinder_suite::sim::{SimConfig, Simulator};
+use pathfinder_suite::snn::{DiehlCookNetwork, SnnConfig};
+use pathfinder_suite::traces::Workload;
+
+#[test]
+fn traces_are_deterministic_per_seed() {
+    for w in Workload::ALL {
+        let a = w.generate(3_000, 7);
+        let b = w.generate(3_000, 7);
+        assert_eq!(a, b, "{w}");
+        let c = w.generate(3_000, 8);
+        assert_ne!(a, c, "{w}: different seeds should differ");
+    }
+}
+
+#[test]
+fn pathfinder_schedules_are_deterministic() {
+    let trace = Workload::Soplex.generate(6_000, 3);
+    let run = || {
+        let mut pf = PathfinderPrefetcher::new(PathfinderConfig::default()).unwrap();
+        generate_prefetches(&mut pf, &trace, 2)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pythia_schedules_are_deterministic() {
+    let trace = Workload::Cc5.generate(6_000, 3);
+    let run = |seed: u64| {
+        let mut p = PythiaPrefetcher::new(seed);
+        generate_prefetches(&mut p, &trace, 2)
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10), "epsilon-greedy must depend on the seed");
+}
+
+#[test]
+fn simulator_replay_is_deterministic() {
+    let trace = Workload::Xalan.generate(6_000, 3);
+    let a = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    let b = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.llc_misses, b.llc_misses);
+}
+
+#[test]
+fn snn_runs_are_deterministic() {
+    let cfg = SnnConfig {
+        n_input: 24,
+        n_exc: 8,
+        ..SnnConfig::default()
+    };
+    let mut a = DiehlCookNetwork::new(cfg, 11).unwrap();
+    let mut b = DiehlCookNetwork::new(cfg, 11).unwrap();
+    let mut rates = vec![0.0f32; 24];
+    rates[3] = 1.0;
+    rates[17] = 1.0;
+    for _ in 0..5 {
+        assert_eq!(a.present(&rates, true), b.present(&rates, true));
+    }
+}
+
+#[test]
+fn full_evaluation_is_deterministic() {
+    let sc = Scenario::with_loads(5_000);
+    let run = || {
+        sc.evaluate_all(
+            &[PrefetcherKind::Spp, PrefetcherKind::Pythia],
+            Workload::Nutch,
+        )
+        .into_iter()
+        .map(|e| (e.report.cycles, e.report.prefetches_useful))
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,215 @@
+//! Shape checks against the paper's qualitative claims, at reduced scale.
+//! (EXPERIMENTS.md records the quantitative full-scale comparison.)
+
+use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher, Readout};
+use pathfinder_suite::harness::experiments::snn_analysis;
+use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_suite::hw::{CamHardware, PathfinderHardware, SnnHardware};
+use pathfinder_suite::prefetch::{generate_prefetches, Prefetcher};
+use pathfinder_suite::traces::Workload;
+
+const SEED: u64 = 42;
+
+/// §5: "SPP is selective in the high-confidence prefetches that it issues,
+/// giving it the highest accuracy, but also lower coverage".
+#[test]
+fn spp_is_most_accurate_but_low_coverage() {
+    let sc = Scenario::with_loads(20_000);
+    let kinds = [
+        PrefetcherKind::BestOffset,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Pythia,
+    ];
+    let evals = sc.evaluate_all(&kinds, Workload::Soplex);
+    let acc: Vec<f64> = evals.iter().map(|e| e.accuracy()).collect();
+    assert!(
+        acc[1] > acc[0] && acc[1] > acc[2],
+        "SPP should lead accuracy: BO {:.2} SPP {:.2} Pythia {:.2}",
+        acc[0],
+        acc[1],
+        acc[2]
+    );
+    let issued: Vec<u64> = evals.iter().map(|e| e.issued()).collect();
+    assert!(
+        issued[1] < issued[2],
+        "SPP should issue fewer than Pythia (Table 6): {} vs {}",
+        issued[1],
+        issued[2]
+    );
+}
+
+/// Table 6's shape: Pythia is the most aggressive issuer; PATHFINDER is
+/// selective on irregular workloads (mcf) but aggressive on patterned ones.
+#[test]
+fn pathfinder_is_selective_on_mcf() {
+    let sc = Scenario::with_loads(20_000);
+    let mcf = sc.evaluate_all(
+        &[
+            PrefetcherKind::Pythia,
+            PrefetcherKind::Pathfinder(PathfinderConfig::default()),
+        ],
+        Workload::Mcf,
+    );
+    let sphinx = sc.evaluate_all(
+        &[PrefetcherKind::Pathfinder(PathfinderConfig::default())],
+        Workload::Sphinx,
+    );
+    // PATHFINDER is choosier than Pythia on the irregular mcf: what it does
+    // issue is markedly more accurate (the paper reports PF's selectivity
+    // as near-zero issue counts on mcf; our synthetic mcf carries a larger
+    // learnable minority, so selectivity shows up as accuracy instead).
+    assert!(
+        mcf[1].accuracy() > mcf[0].accuracy(),
+        "PF accuracy {:.3} vs Pythia {:.3} on mcf",
+        mcf[1].accuracy(),
+        mcf[0].accuracy()
+    );
+    // ...and its mcf prefetches cover far less than on a patterned workload
+    // (selectivity shows up as usefulness: the mcf pointer chase offers few
+    // learnable patterns).
+    assert!(
+        mcf[1].coverage() < sphinx[0].coverage() / 2.0,
+        "PF mcf coverage {:.3} vs sphinx {:.3}",
+        mcf[1].coverage(),
+        sphinx[0].coverage()
+    );
+}
+
+/// §5: the ensemble bridges PATHFINDER's coverage gap.
+#[test]
+fn ensemble_extends_pathfinder_coverage() {
+    let sc = Scenario::with_loads(20_000);
+    let evals = sc.evaluate_all(
+        &[
+            PrefetcherKind::Pathfinder(PathfinderConfig::default()),
+            PrefetcherKind::PathfinderNlSisb(PathfinderConfig::default()),
+        ],
+        Workload::Mcf,
+    );
+    assert!(
+        evals[1].coverage() >= evals[0].coverage(),
+        "ensemble coverage {:.3} vs pathfinder {:.3}",
+        evals[1].coverage(),
+        evals[0].coverage()
+    );
+}
+
+/// Table 1: the first-tick argmax matches the 32-tick winner in the large
+/// majority of queries (the paper reports 82-94%).
+#[test]
+fn one_tick_approximation_matches_winner_mostly() {
+    let sc = Scenario::with_loads(12_000);
+    let (rows, _) = snn_analysis::tab1(&sc, &[Workload::Soplex, Workload::Sphinx]);
+    for r in &rows {
+        assert!(r.comparisons > 100, "{}: too few comparisons", r.workload);
+        // The paper reports 82-94%; our noisier rate coding and tick-
+        // granularity ties land lower (~50-80% — see EXPERIMENTS.md), but
+        // the approximation must still beat chance (1/50 neurons) by a
+        // wide margin.
+        assert!(
+            r.match_rate > 0.4,
+            "{}: match rate {:.2} too low for the §3.4 approximation",
+            r.workload,
+            r.match_rate
+        );
+    }
+}
+
+/// Table 2 / §3.6: a repeated pattern recruits a stable winner neuron.
+#[test]
+fn snn_demo_recruits_stable_winner() {
+    let (rows, _, _) = snn_analysis::tab2(SEED);
+    let repeated: Vec<_> = rows.iter().filter(|r| r.pattern == [1, 2, 4]).collect();
+    let winners: Vec<usize> = repeated.iter().filter_map(|r| r.firing_neuron).collect();
+    assert!(winners.len() >= 4, "pattern should fire most repetitions");
+    let first = winners[0];
+    let stable = winners.iter().filter(|&&w| w == first).count();
+    assert!(
+        stable as f64 / winners.len() as f64 > 0.7,
+        "winner should be stable: {winners:?}"
+    );
+}
+
+/// Abstract: PATHFINDER fits in 0.23 mm² and 0.5 W at 12 nm — under 1% of a
+/// Ryzen 2700X.
+#[test]
+fn hardware_totals_match_abstract() {
+    let e = PathfinderHardware::paper_default().estimate();
+    assert!((e.area_mm2 - 0.23).abs() < 0.01, "area {}", e.area_mm2);
+    assert!(e.power_w < 0.5, "power {}", e.power_w);
+    assert!(e.die_fraction() < 0.01);
+}
+
+/// Table 9's monotone structure: cost strictly shrinks with both PE count
+/// and delta range.
+#[test]
+fn table9_is_monotone() {
+    let mut prev_area = f64::INFINITY;
+    for width in [127usize, 63, 31] {
+        let e = SnnHardware {
+            n_pe: 50,
+            delta_width: width,
+            history: 3,
+        }
+        .estimate();
+        assert!(e.area_mm2 < prev_area);
+        prev_area = e.area_mm2;
+    }
+    let one_pe = SnnHardware {
+        n_pe: 1,
+        delta_width: 127,
+        history: 3,
+    }
+    .estimate();
+    assert!(one_pe.area_mm2 < 0.01);
+    // §3.5: the supporting CAMs are small next to the SNN.
+    let snn = SnnHardware::paper_default().estimate();
+    let tt = CamHardware::training_table().estimate();
+    assert!(tt.area_mm2 < snn.area_mm2 / 5.0);
+}
+
+/// §3.4 "Initial Accesses to a Page": enabling the initial-access encoding
+/// must let PATHFINDER query the SNN from the very first touch.
+#[test]
+fn initial_access_extension_increases_queries() {
+    let trace = Workload::Soplex.generate(10_000, SEED);
+    let run = |enabled: bool| {
+        let mut pf = PathfinderPrefetcher::new(PathfinderConfig {
+            initial_access_encoding: enabled,
+            readout: Readout::OneTick,
+            ..PathfinderConfig::default()
+        })
+        .unwrap();
+        let _ = generate_prefetches(&mut pf, &trace, 2);
+        pf.stats().snn_queries
+    };
+    assert!(
+        run(true) > run(false),
+        "initial-access encoding should add queries"
+    );
+}
+
+/// §5 / Figure 8: a 1%-duty-cycled STDP (first 50 of every 5000 accesses)
+/// should stay within a modest margin of always-on learning.
+#[test]
+fn duty_cycled_stdp_remains_competitive() {
+    use pathfinder_suite::core::StdpDutyCycle;
+    let sc = Scenario::with_loads(20_000);
+    let always = sc.evaluate_all(
+        &[PrefetcherKind::Pathfinder(PathfinderConfig::default())],
+        Workload::Sphinx,
+    );
+    let duty = sc.evaluate_all(
+        &[PrefetcherKind::Pathfinder(PathfinderConfig {
+            stdp_duty: StdpDutyCycle::first_n_of_5000(50),
+            ..PathfinderConfig::default()
+        })],
+        Workload::Sphinx,
+    );
+    assert!(
+        duty[0].ipc() > always[0].ipc() * 0.9,
+        "duty-cycled {:.3} vs always-on {:.3}",
+        duty[0].ipc(),
+        always[0].ipc()
+    );
+}

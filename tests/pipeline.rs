@@ -1,0 +1,132 @@
+//! End-to-end integration tests spanning every crate: trace generation →
+//! prefetch-schedule generation → timed replay → metrics.
+
+use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher, Readout};
+use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_suite::prefetch::{
+    generate_prefetches, NoPrefetcher, OraclePrefetcher, Prefetcher,
+};
+use pathfinder_suite::sim::{SimConfig, Simulator};
+use pathfinder_suite::traces::Workload;
+
+const LOADS: usize = 8_000;
+const SEED: u64 = 1234;
+
+#[test]
+fn every_workload_flows_through_the_full_pipeline() {
+    for w in Workload::ALL {
+        let trace = w.generate(LOADS, SEED);
+        assert_eq!(trace.len(), LOADS, "{w}");
+        let report = Simulator::new(SimConfig::default()).run(&trace, &[]);
+        assert!(report.ipc() > 0.0, "{w}: ipc {}", report.ipc());
+        assert!(report.ipc() <= 4.0, "{w}: ipc above core width");
+        assert_eq!(report.loads, LOADS as u64, "{w}");
+        assert!(report.llc_misses > 0, "{w} should produce LLC misses");
+    }
+}
+
+#[test]
+fn oracle_dominates_no_prefetch_everywhere() {
+    for w in [Workload::Mcf, Workload::Sphinx, Workload::Xalan] {
+        let trace = w.generate(LOADS, SEED);
+        let base = Simulator::new(SimConfig::default()).run(&trace, &[]);
+        let mut oracle = OraclePrefetcher::new(2);
+        let schedule = generate_prefetches(&mut oracle, &trace, 2);
+        let best = Simulator::new(SimConfig::default()).run(&trace, &schedule);
+        assert!(
+            best.ipc() >= base.ipc(),
+            "{w}: oracle {} vs base {}",
+            best.ipc(),
+            base.ipc()
+        );
+        assert!(best.accuracy() > 0.8, "{w}: oracle accuracy {}", best.accuracy());
+    }
+}
+
+#[test]
+fn competition_degree_limit_is_respected_by_all() {
+    let trace = Workload::Soplex.generate(4_000, SEED);
+    for kind in PrefetcherKind::figure4_lineup() {
+        let mut p = kind.build(SEED);
+        let schedule = generate_prefetches(p.as_mut(), &trace, 2);
+        let mut per_trigger = std::collections::HashMap::new();
+        for r in &schedule {
+            *per_trigger.entry(r.trigger_instr_id).or_insert(0usize) += 1;
+        }
+        let max = per_trigger.values().copied().max().unwrap_or(0);
+        assert!(max <= 2, "{}: issued {max} prefetches on one access", p.name());
+    }
+}
+
+#[test]
+fn pathfinder_full_and_one_tick_both_produce_useful_prefetches() {
+    let trace = Workload::Soplex.generate(LOADS, SEED);
+    let base = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    for readout in [Readout::FullInterval, Readout::OneTick] {
+        let mut pf = PathfinderPrefetcher::new(PathfinderConfig {
+            readout,
+            ..PathfinderConfig::default()
+        })
+        .unwrap();
+        let schedule = generate_prefetches(&mut pf, &trace, 2);
+        let report = Simulator::new(SimConfig::default()).run(&trace, &schedule);
+        assert!(
+            report.prefetches_useful > 0,
+            "{readout:?} produced no useful prefetches"
+        );
+        assert!(report.coverage(base.llc_misses) > 0.0);
+    }
+}
+
+#[test]
+fn scenario_metrics_are_internally_consistent() {
+    let sc = Scenario::with_loads(LOADS);
+    let evals = sc.evaluate_all(
+        &[PrefetcherKind::NoPrefetch, PrefetcherKind::Spp],
+        Workload::Nutch,
+    );
+    let (none, spp) = (&evals[0], &evals[1]);
+    assert_eq!(none.issued(), 0);
+    assert_eq!(none.accuracy(), 0.0);
+    assert!(spp.report.prefetches_issued <= spp.report.prefetches_requested);
+    assert!(spp.report.prefetches_useful <= spp.report.prefetches_issued);
+    assert!(spp.accuracy() <= 1.0);
+    // Coverage denominator is the no-prefetch run's misses.
+    assert_eq!(none.baseline_misses, none.report.llc_misses);
+}
+
+#[test]
+fn replay_counters_add_up() {
+    let trace = Workload::Cc5.generate(LOADS, SEED);
+    let report = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    assert_eq!(
+        report.l1d_hits + report.l2_hits + report.llc_load_accesses,
+        report.loads,
+        "hierarchy levels must partition the loads"
+    );
+    assert_eq!(
+        report.llc_hits + report.llc_misses,
+        report.llc_load_accesses,
+        "LLC hits and misses must partition LLC accesses"
+    );
+}
+
+#[test]
+fn no_prefetcher_is_truly_inert() {
+    let trace = Workload::Astar.generate(4_000, SEED);
+    let mut none = NoPrefetcher::new();
+    let schedule = generate_prefetches(&mut none, &trace, 2);
+    assert!(schedule.is_empty());
+    let a = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    let b = Simulator::new(SimConfig::default()).run(&trace, &schedule);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn warmup_mode_reports_fewer_loads_but_same_order() {
+    let trace = Workload::Cloud9.generate(6_000, SEED);
+    let full = Simulator::new(SimConfig::default()).run(&trace, &[]);
+    let warm = Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], 3_000);
+    assert_eq!(warm.loads, 3_000);
+    assert!(warm.cycles < full.cycles);
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core data structures' invariants.
+
+use proptest::prelude::*;
+
+use pathfinder_suite::core::{InferenceTable, PathfinderConfig, PixelMatrixEncoder, TrainingTable};
+use pathfinder_suite::prefetch::{generate_prefetches, Prefetcher, SppPrefetcher};
+use pathfinder_suite::sim::{
+    Block, Cache, CacheConfig, CoreConfig, DramConfig, DramModel, MemoryAccess, RobModel, Trace,
+};
+use pathfinder_suite::snn::{DiehlCookNetwork, SnnConfig};
+
+proptest! {
+    /// Address decomposition round-trips for arbitrary raw addresses.
+    #[test]
+    fn addr_decomposition_roundtrips(raw in 0u64..(1 << 48)) {
+        let a = pathfinder_suite::sim::Addr::new(raw);
+        let block = a.block();
+        prop_assert_eq!(block.page(), a.page());
+        prop_assert_eq!(block.page_offset(), a.page_offset_blocks());
+        prop_assert!(block.base_addr().raw() <= raw);
+        prop_assert!(raw - block.base_addr().raw() < 64);
+    }
+
+    /// Same-page deltas always fit in the paper's delta range.
+    #[test]
+    fn same_page_deltas_bounded(page in 0u64..1_000_000, a in 0u8..64, b in 0u8..64) {
+        let p = pathfinder_suite::sim::Page(page);
+        let d = p.block_at(a).page_delta(p.block_at(b)).expect("same page");
+        prop_assert!((-63..=63).contains(&d));
+        prop_assert_eq!(d, b as i8 - a as i8);
+    }
+
+    /// Cache occupancy never exceeds capacity, and a filled block probes
+    /// true until evicted by construction.
+    #[test]
+    fn cache_occupancy_bounded(blocks in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut cache = Cache::new(CacheConfig::new(16, 4, 1));
+        for &b in &blocks {
+            cache.demand_access(Block(b), 0);
+            cache.fill(Block(b), false, 0);
+            prop_assert!(cache.probe(Block(b)), "freshly filled block present");
+            prop_assert!(cache.occupancy() <= 16 * 4);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, blocks.len() as u64);
+    }
+
+    /// DRAM completion times are causal: data never returns before the
+    /// request plus the minimum access latency.
+    #[test]
+    fn dram_completions_causal(reqs in prop::collection::vec((0u64..1_000_000, 0u64..500), 1..100)) {
+        let cfg = DramConfig::default();
+        let mut dram = DramModel::new(cfg);
+        let mut now = 0u64;
+        for (blk, gap) in reqs {
+            now += gap;
+            let done = dram.service(Block(blk), now);
+            prop_assert!(done >= now + cfg.t_cas + cfg.burst_cycles);
+        }
+    }
+
+    /// ROB retirement is monotone in program order regardless of latencies.
+    #[test]
+    fn rob_retirement_monotone(lat in prop::collection::vec(1u64..500, 1..200)) {
+        let mut rob = RobModel::new(CoreConfig::default());
+        let mut prev_retire = 0u64;
+        for (i, l) in lat.iter().enumerate() {
+            let id = i as u64 * 3;
+            let issue = rob.issue_cycle(id);
+            let retire = rob.complete_load(id, issue, *l);
+            prop_assert!(retire >= prev_retire, "in-order retirement");
+            prop_assert!(retire >= issue + l);
+            prev_retire = retire;
+        }
+    }
+
+    /// The pixel encoder emits intensities in [0, 1], with exactly one
+    /// full-intensity pixel per encoded delta row, wherever the deltas lie.
+    #[test]
+    fn pixel_encoder_well_formed(
+        d1 in -200i16..200,
+        d2 in -200i16..200,
+        d3 in -200i16..200,
+        enlarged in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        let cfg = PathfinderConfig {
+            enlarged_pixels: enlarged,
+            reorder_pixels: reorder,
+            ..PathfinderConfig::default()
+        };
+        let enc = PixelMatrixEncoder::new(&cfg);
+        let rates = enc.encode(&[d1, d2, d3]);
+        prop_assert_eq!(rates.len(), cfg.n_input());
+        prop_assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        let full: usize = rates.iter().filter(|&&r| r == 1.0).count();
+        prop_assert_eq!(full, 3, "one center pixel per row");
+    }
+
+    /// Inference-table confidences stay in the 3-bit range under arbitrary
+    /// reward/penalize sequences, and dead labels disappear.
+    #[test]
+    fn inference_confidence_is_3bit(ops in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut it = InferenceTable::new(4, 2);
+        it.assign(0, 5);
+        for up in ops {
+            if up {
+                it.reward(0, 0);
+            } else {
+                it.penalize(0, 0);
+            }
+            for (_, label) in it.labels(0) {
+                prop_assert!(label.confidence >= 1 && label.confidence <= 7);
+            }
+        }
+    }
+
+    /// Training-table deltas always equal the offset differences fed in;
+    /// same-block repeats are invisible (delta-0 filtering, as at the LLC).
+    #[test]
+    fn training_table_delta_correct(offsets in prop::collection::vec(0u8..64, 2..40)) {
+        let mut tt = TrainingTable::new(64, 3);
+        let mut prev: Option<u8> = None;
+        for &off in &offsets {
+            let d = tt.record_offset(1, 9, off);
+            match prev {
+                None => {
+                    prop_assert!(d.is_none());
+                    prev = Some(off);
+                }
+                Some(p) if p == off => prop_assert!(d.is_none(), "repeat is filtered"),
+                Some(p) => {
+                    prop_assert_eq!(d, Some(off as i16 - p as i16));
+                    prev = Some(off);
+                }
+            }
+        }
+    }
+
+    /// SNN weights stay finite, non-negative, and (post-learning) each
+    /// neuron's incoming sum stays at the configured norm.
+    #[test]
+    fn snn_weights_stay_normalized(pattern in prop::collection::vec(0usize..24, 1..5)) {
+        let mut cfg = SnnConfig {
+            n_input: 24,
+            n_exc: 6,
+            ..SnnConfig::default()
+        };
+        cfg.stdp.norm = 4.8;
+        let mut net = DiehlCookNetwork::new(cfg, 3).unwrap();
+        let mut rates = vec![0.0f32; 24];
+        for &i in &pattern {
+            rates[i] = 1.0;
+        }
+        for _ in 0..3 {
+            net.present(&rates, true);
+        }
+        for j in 0..6 {
+            let w = net.neuron_weights(j);
+            prop_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+            let sum: f32 = w.iter().sum();
+            prop_assert!((sum - 4.8).abs() < 0.05, "neuron {} sum {}", j, sum);
+        }
+    }
+
+    /// SPP never prefetches outside the trigger's page.
+    #[test]
+    fn spp_stays_in_page(offsets in prop::collection::vec(0u8..64, 10..80)) {
+        let mut spp = SppPrefetcher::new();
+        let trace: Trace = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| MemoryAccess::new(i as u64, 0x400, ((i as u64 / 10) % 4) * 4096 + o as u64 * 64))
+            .collect();
+        let schedule = generate_prefetches(&mut spp, &trace, 2);
+        for r in &schedule {
+            let trig = trace.accesses()[r.trigger_instr_id as usize];
+            prop_assert_eq!(r.block.page(), trig.vaddr.page());
+        }
+    }
+
+    /// Trace generators keep instruction ids strictly increasing for any
+    /// seed and length.
+    #[test]
+    fn generator_ids_strictly_increase(seed in 0u64..1000, loads in 100usize..800) {
+        let t = pathfinder_suite::traces::Workload::Omnetpp.generate(loads, seed);
+        prop_assert_eq!(t.len(), loads);
+        prop_assert!(t.accesses().windows(2).all(|w| w[1].instr_id > w[0].instr_id));
+    }
+}

@@ -1,0 +1,96 @@
+//! Telemetry overhead: what recording costs when it is compiled in, and
+//! proof-by-measurement that it costs nothing when it is not.
+//!
+//! Run twice and compare:
+//!
+//! ```console
+//! $ cargo bench -p pathfinder-bench --bench telemetry_overhead
+//! $ cargo bench -p pathfinder-bench --bench telemetry_overhead --no-default-features
+//! ```
+//!
+//! The first build compiles `pathfinder-telemetry/enabled` into every
+//! instrumented crate; the second strips it, so every `counter!`/`timer!`
+//! in the hot paths is an empty inline function and the `raw_ops` numbers
+//! collapse to the cost of the loop itself. The `instrumented_replay`
+//! group is the end-to-end check: its enabled-vs-disabled delta is the
+//! whole-system price of telemetry on the simulator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pathfinder_bench::{micro_trace, BENCH_SEED};
+use pathfinder_prefetch::{generate_prefetches, NextLinePrefetcher};
+use pathfinder_sim::{SimConfig, Simulator};
+use pathfinder_snn::{DiehlCookNetwork, SnnConfig};
+use pathfinder_telemetry as telemetry;
+
+/// Per-operation cost of each primitive (no-ops when compiled out).
+fn raw_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_raw_ops");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| telemetry::record_counter(black_box("bench.counter"), black_box(1)))
+    });
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 3.0;
+            telemetry::record_gauge(black_box("bench.gauge"), black_box(v))
+        })
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            telemetry::record_histogram(black_box("bench.hist"), black_box(v >> 48))
+        })
+    });
+    group.bench_function("scoped_timer", |b| {
+        b.iter(|| {
+            let _t = telemetry::timer!("bench.timer");
+        })
+    });
+    group.finish();
+}
+
+/// Capture scope setup/teardown plus snapshot extraction.
+fn capture_scope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_capture");
+    group.bench_function("empty_capture", |b| {
+        b.iter(|| telemetry::capture(|| black_box(0u64)))
+    });
+    group.bench_function("capture_100_counters", |b| {
+        b.iter(|| {
+            telemetry::capture(|| {
+                for _ in 0..100 {
+                    telemetry::record_counter("bench.counter", 1);
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end: the instrumented hot paths at bench scale. Compare the same
+/// benchmark between default and `--no-default-features` builds to price
+/// the telemetry in context.
+fn instrumented_replay(c: &mut Criterion) {
+    let trace = micro_trace();
+    let schedule = generate_prefetches(&mut NextLinePrefetcher::new(), &trace, 2);
+
+    let mut group = c.benchmark_group("telemetry_instrumented");
+    group.sample_size(20);
+    group.bench_function("sim_replay", |b| {
+        b.iter(|| Simulator::new(SimConfig::default()).run(black_box(&trace), &schedule))
+    });
+    group.bench_function("snn_present", |b| {
+        let mut net =
+            DiehlCookNetwork::new(SnnConfig::default(), BENCH_SEED).expect("valid config");
+        let rates: Vec<f32> = (0..net.config().n_input)
+            .map(|i| if i % 7 == 0 { 0.6 } else { 0.0 })
+            .collect();
+        b.iter(|| net.present(black_box(&rates), true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, raw_ops, capture_scope, instrumented_replay);
+criterion_main!(benches);

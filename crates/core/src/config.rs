@@ -277,8 +277,10 @@ mod tests {
 
     #[test]
     fn n_input_scales_with_range() {
-        let mut c = PathfinderConfig::default();
-        c.delta_range = 31;
+        let mut c = PathfinderConfig {
+            delta_range: 31,
+            ..PathfinderConfig::default()
+        };
         assert_eq!(c.n_input(), 63 * 3);
         c.delta_range = 15;
         assert_eq!(c.n_input(), 31 * 3);

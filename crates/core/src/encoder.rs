@@ -199,7 +199,7 @@ mod tests {
         let on = active(&rates);
         assert!(on.len() >= 4, "neighborhood should be lit: {on:?}");
         assert_eq!(rates.iter().filter(|&&r| r == 1.0).count(), 1);
-        assert!(rates.iter().any(|&r| r == 0.5));
+        assert!(rates.contains(&0.5));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use pathfinder_prefetch::Prefetcher;
 use pathfinder_sim::{Block, MemoryAccess, BLOCKS_PER_PAGE};
 use pathfinder_snn::DiehlCookNetwork;
+use pathfinder_telemetry as telemetry;
 
 use crate::config::{PathfinderConfig, Readout};
 use crate::encoder::PixelMatrixEncoder;
@@ -116,6 +117,7 @@ impl PathfinderPrefetcher {
     /// Queries the SNN and returns the firing neurons in priority order.
     fn query(&mut self, rates: &[f32], learn: bool) -> Vec<usize> {
         self.stats.snn_queries += 1;
+        telemetry::counter!("pf.snn.queries", 1);
         match self.config.readout {
             Readout::FullInterval => {
                 let out = self.network.present(rates, learn);
@@ -157,6 +159,7 @@ impl Prefetcher for PathfinderPrefetcher {
 
     fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
         self.stats.accesses += 1;
+        telemetry::counter!("pf.accesses", 1);
         let learn = self.config.stdp_duty.learning_enabled(self.stats.accesses - 1);
         let pc = access.pc.raw();
         let block = access.block();
@@ -181,9 +184,11 @@ impl Prefetcher for PathfinderPrefetcher {
             if predicted == offset {
                 self.inference.reward(neuron, slot);
                 self.stats.predictions_correct += 1;
+                telemetry::counter!("pf.confidence.rewards", 1);
             } else {
                 self.inference.penalize(neuron, slot);
                 self.stats.predictions_wrong += 1;
+                telemetry::counter!("pf.confidence.penalties", 1);
             }
         }
 
@@ -195,6 +200,7 @@ impl Prefetcher for PathfinderPrefetcher {
         if let (Some(neuron), Some(d)) = (prev_fired, delta) {
             if self.inference.assign(neuron, d).is_some() {
                 self.stats.labels_assigned += 1;
+                telemetry::counter!("pf.labels.assigned", 1);
             }
         }
 
@@ -258,6 +264,7 @@ impl Prefetcher for PathfinderPrefetcher {
         entry.predictions = tracked_predictions;
 
         self.stats.prefetches_issued += prefetches.len() as u64;
+        telemetry::counter!("pf.prefetches.issued", prefetches.len() as u64);
         prefetches
     }
 }

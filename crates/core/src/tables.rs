@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use pathfinder_telemetry as telemetry;
+
 /// Maximum value of the 3-bit saturating confidence counter.
 pub const CONFIDENCE_MAX: u8 = 7;
 /// Confidence assigned when a label is first learned ("an initial
@@ -81,6 +83,13 @@ impl TrainingTable {
     /// evicting the oldest half if over budget.
     pub fn touch(&mut self, pc: u64, page: u64) -> &mut TrainingEntry {
         self.clock += 1;
+        if telemetry::enabled() {
+            if self.entries.contains_key(&(pc, page)) {
+                telemetry::counter!("pf.train.hits", 1);
+            } else {
+                telemetry::counter!("pf.train.misses", 1);
+            }
+        }
         if self.entries.len() >= 2 * self.capacity && !self.entries.contains_key(&(pc, page)) {
             self.evict_oldest_half();
         }
@@ -121,7 +130,9 @@ impl TrainingTable {
         let mut stamps: Vec<u64> = self.entries.values().map(|e| e.stamp).collect();
         stamps.sort_unstable();
         let cutoff = stamps[stamps.len() / 2];
+        let before = self.entries.len();
         self.entries.retain(|_, e| e.stamp > cutoff);
+        telemetry::counter!("pf.train.evictions", (before - self.entries.len()) as u64);
     }
 }
 
@@ -169,7 +180,7 @@ impl InferenceTable {
             .enumerate()
             .filter_map(|(i, l)| l.map(|l| (i, l)))
             .collect();
-        out.sort_by(|a, b| b.1.confidence.cmp(&a.1.confidence));
+        out.sort_by_key(|(_, l)| std::cmp::Reverse(l.confidence));
         out
     }
 
@@ -189,7 +200,7 @@ impl InferenceTable {
         }
         let slot = self.slots[neuron]
             .iter()
-            .position(|l| l.map_or(true, |l| l.confidence == 0))?;
+            .position(|l| l.is_none_or(|l| l.confidence == 0))?;
         self.slots[neuron][slot] = Some(Label {
             delta,
             confidence: CONFIDENCE_INIT,
@@ -211,6 +222,7 @@ impl InferenceTable {
             label.confidence = label.confidence.saturating_sub(1);
             if label.confidence == 0 {
                 self.slots[neuron][slot] = None;
+                telemetry::counter!("pf.labels.erased", 1);
             }
         }
     }

@@ -2,7 +2,7 @@
 //! delta patterns.
 
 use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher, Readout, Variant};
-use pathfinder_prefetch::{generate_prefetches, Prefetcher};
+use pathfinder_prefetch::generate_prefetches;
 use pathfinder_sim::{MemoryAccess, Trace};
 
 fn fast() -> PathfinderConfig {

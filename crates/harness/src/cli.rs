@@ -1,0 +1,206 @@
+//! The `repro` command-line interface — regenerates every table and figure of the PATHFINDER paper.
+//!
+//! ```text
+//! repro <experiment> [--loads N] [--seed S]
+//!
+//! experiments:
+//!   all    every experiment below, in order
+//!   fig4   prefetcher shootout: IPC/accuracy/coverage (+ Table 6)
+//!   fig5   delta-range sweep
+//!   fig6   neuron-count sweep (1-label vs 2-label)
+//!   fig7   1-tick vs 32-tick readout
+//!   fig8   STDP duty-cycle sweep
+//!   fig9   implementation-variant ladder
+//!   tab1   first-tick argmax vs 32-tick winner match rate
+//!   tab2   SNN learning demonstration (§3.6, Figure 3 data)
+//!   tab5   workload inventory
+//!   tab7   deltas within range
+//!   tab8   per-1K-access delta statistics
+//!   tab9   hardware area/power model
+//!   ext    beyond-the-paper: dynamic ensembles and cold-page prediction
+//!   report structured run report with telemetry (also writes run_report.json
+//!          and run_report.md next to the working directory)
+//! ```
+
+use std::process::ExitCode;
+
+use crate::experiments::{extensions, fig4, hardware, report, snn_analysis, sweeps, trace_stats};
+use crate::runner::Scenario;
+use pathfinder_traces::Workload;
+
+struct Args {
+    experiment: String,
+    loads: usize,
+    sweep_loads: usize,
+    seed: u64,
+    workloads: Vec<Workload>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = String::from("all");
+    let mut loads = 100_000usize;
+    let mut sweep_loads = 0usize;
+    let mut seed = 42u64;
+    let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0usize;
+    let mut saw_experiment = false;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--loads" => {
+                i += 1;
+                loads = argv
+                    .get(i)
+                    .ok_or("--loads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--loads: {e}"))?;
+            }
+            "--sweep-loads" => {
+                i += 1;
+                sweep_loads = argv
+                    .get(i)
+                    .ok_or("--sweep-loads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--sweep-loads: {e}"))?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--workload" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--workload needs a trace name")?;
+                let w: Workload = name.parse().map_err(|e| format!("{e}"))?;
+                if workloads.len() == Workload::ALL.len() {
+                    workloads = vec![w];
+                } else {
+                    workloads.push(w);
+                }
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            exp if !saw_experiment && !exp.starts_with('-') => {
+                experiment = exp.to_string();
+                saw_experiment = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if sweep_loads == 0 {
+        // Sweeps run many PATHFINDER configurations; default to a smaller
+        // per-configuration trace than the shootout.
+        sweep_loads = (loads / 2).max(1000);
+    }
+    Ok(Args {
+        experiment,
+        loads,
+        sweep_loads,
+        seed,
+        workloads,
+    })
+}
+
+/// Parses CLI arguments and runs the selected experiment(s).
+pub fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report] \
+                 [--loads N] [--sweep-loads N] [--seed S]"
+            );
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let scenario = Scenario {
+        loads: args.loads,
+        seed: args.seed,
+        ..Scenario::default()
+    };
+    let sweep_scenario = Scenario {
+        loads: args.sweep_loads,
+        seed: args.seed,
+        ..Scenario::default()
+    };
+    let all = args.workloads.clone();
+
+    eprintln!(
+        "# repro: experiment={} loads={} sweep_loads={} seed={} workloads={}",
+        args.experiment,
+        args.loads,
+        args.sweep_loads,
+        args.seed,
+        all.len()
+    );
+
+    let run_one = |name: &str| -> Option<String> {
+        let t0 = std::time::Instant::now();
+        let text = match name {
+            "fig4" => fig4::render(&fig4::run_with(&scenario, &all)),
+            "fig5" => sweeps::fig5(&sweep_scenario, &all).1,
+            "fig6" => sweeps::fig6(&sweep_scenario, &all).1,
+            "fig7" => sweeps::fig7(&sweep_scenario, &all).1,
+            "fig8" => sweeps::fig8(&sweep_scenario, &all).1,
+            "fig9" => sweeps::fig9(&sweep_scenario, &all).1,
+            "tab1" => snn_analysis::tab1(&sweep_scenario, &all).1,
+            "tab2" => snn_analysis::tab2(args.seed).2,
+            "tab5" => trace_stats::tab5(&scenario),
+            "tab7" => trace_stats::tab7(&scenario, &all).1,
+            "tab8" => trace_stats::tab8(&scenario, &all).1,
+            "tab9" => hardware::tab9(),
+            "ext" => extensions::run(&sweep_scenario, &all).1,
+            "report" => {
+                let rep = report::run(&scenario, &report::default_lineup(), &all);
+                match std::fs::write("run_report.json", rep.to_json()) {
+                    Ok(()) => eprintln!("# report: wrote run_report.json"),
+                    Err(e) => eprintln!("# report: could not write run_report.json: {e}"),
+                }
+                match std::fs::write("run_report.md", rep.to_markdown()) {
+                    Ok(()) => eprintln!("# report: wrote run_report.md"),
+                    Err(e) => eprintln!("# report: could not write run_report.md: {e}"),
+                }
+                rep.render_text()
+            }
+            _ => return None,
+        };
+        eprintln!("# {name} finished in {:.1}s", t0.elapsed().as_secs_f64());
+        Some(text)
+    };
+
+    let experiments: Vec<&str> = if args.experiment == "all" {
+        vec![
+            "tab5", "tab7", "tab8", "tab9", "tab2", "tab1", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "ext", "report",
+        ]
+    } else {
+        vec![args.experiment.as_str()]
+    };
+
+    for name in experiments {
+        match run_one(name) {
+            Some(text) => {
+                println!("{text}");
+            }
+            None => {
+                eprintln!("error: unknown experiment `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

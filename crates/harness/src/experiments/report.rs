@@ -1,0 +1,296 @@
+//! Structured run reports (`repro report`): one evaluation sweep with
+//! per-prefetcher telemetry snapshots, emitted as JSON (machine-readable)
+//! and Markdown (human-readable).
+//!
+//! This is the top of the telemetry pipeline: the instrumented crates
+//! (`pathfinder-snn`, `pathfinder-core`, `pathfinder-sim`) record into the
+//! per-thread recorder that [`Scenario::evaluate_with_telemetry`] installs,
+//! and this module aggregates those snapshots across workloads into one
+//! document per run. See EXPERIMENTS.md ("Reading the telemetry") for what
+//! each metric means and which paper figure or table it supports.
+
+use pathfinder_telemetry::{json, Snapshot};
+use pathfinder_traces::Workload;
+
+use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::table::{count, f3, pct, TextTable};
+
+/// One (workload, prefetcher) evaluation in a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Workload trace name.
+    pub workload: String,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// useful / issued (§4.5).
+    pub accuracy: f64,
+    /// useful / baseline misses (§4.5).
+    pub coverage: f64,
+    /// Prefetch requests submitted by the prefetcher (Table 6).
+    pub requested: u64,
+    /// Prefetches the simulator actually injected (post residency/shedding
+    /// filters).
+    pub sim_issued: u64,
+    /// The same count as seen by the telemetry layer
+    /// (`sim.prefetch.issued`); equals `sim_issued` whenever telemetry is
+    /// compiled in.
+    pub telemetry_issued: u64,
+}
+
+/// A full evaluation sweep plus per-prefetcher telemetry.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Loads per trace.
+    pub loads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether telemetry recording was compiled in.
+    pub telemetry_enabled: bool,
+    /// One row per (workload, prefetcher), workload-major.
+    pub rows: Vec<ReportRow>,
+    /// Per-prefetcher telemetry merged across all workloads, in line-up
+    /// order.
+    pub per_prefetcher: Vec<(String, Snapshot)>,
+}
+
+/// The default `repro report` line-up: the baselines the paper leans on
+/// most, PATHFINDER itself, and the best ensemble.
+pub fn default_lineup() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::NoPrefetch,
+        PrefetcherKind::BestOffset,
+        PrefetcherKind::Sisb,
+        PrefetcherKind::Pathfinder(pathfinder_core::PathfinderConfig::default()),
+        PrefetcherKind::PathfinderNlSisb(pathfinder_core::PathfinderConfig::default()),
+    ]
+}
+
+/// Evaluates `kinds` on `workloads` (in parallel per workload) and gathers
+/// each prefetcher's telemetry.
+pub fn run(scenario: &Scenario, kinds: &[PrefetcherKind], workloads: &[Workload]) -> RunReport {
+    let per_w: Vec<Vec<(crate::metrics::Evaluation, Snapshot)>> = per_workload(workloads, |w| {
+        let trace = scenario.trace(w);
+        let baseline = scenario.baseline_misses(&trace);
+        kinds
+            .iter()
+            .map(|k| scenario.evaluate_with_telemetry(k, w, &trace, baseline))
+            .collect()
+    });
+
+    let mut rows = Vec::new();
+    let mut merged: Vec<(String, Snapshot)> = kinds
+        .iter()
+        .map(|k| (k.label().to_string(), Snapshot::default()))
+        .collect();
+    for per_kind in &per_w {
+        for (i, (eval, snap)) in per_kind.iter().enumerate() {
+            rows.push(ReportRow {
+                workload: eval.workload.trace_name().to_string(),
+                prefetcher: eval.prefetcher.clone(),
+                ipc: eval.ipc(),
+                accuracy: eval.accuracy(),
+                coverage: eval.coverage(),
+                requested: eval.issued(),
+                sim_issued: eval.report.prefetches_issued,
+                telemetry_issued: snap.counter("sim.prefetch.issued"),
+            });
+            merged[i].1.merge(snap);
+        }
+    }
+
+    RunReport {
+        loads: scenario.loads,
+        seed: scenario.seed,
+        telemetry_enabled: pathfinder_telemetry::enabled(),
+        rows,
+        per_prefetcher: merged,
+    }
+}
+
+impl RunReport {
+    /// Renders the report as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str("\"loads\":");
+        out.push_str(&self.loads.to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"telemetry_enabled\":");
+        out.push_str(if self.telemetry_enabled { "true" } else { "false" });
+        out.push_str(",\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"workload\":");
+            json::write_string(&mut out, &r.workload);
+            out.push_str(",\"prefetcher\":");
+            json::write_string(&mut out, &r.prefetcher);
+            out.push_str(",\"ipc\":");
+            json::write_f64(&mut out, r.ipc);
+            out.push_str(",\"accuracy\":");
+            json::write_f64(&mut out, r.accuracy);
+            out.push_str(",\"coverage\":");
+            json::write_f64(&mut out, r.coverage);
+            out.push_str(",\"prefetches_requested\":");
+            out.push_str(&r.requested.to_string());
+            out.push_str(",\"prefetches_issued\":");
+            out.push_str(&r.sim_issued.to_string());
+            out.push_str(",\"telemetry_issued\":");
+            out.push_str(&r.telemetry_issued.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"telemetry\":{");
+        for (i, (label, snap)) in self.per_prefetcher.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, label);
+            out.push(':');
+            snap.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the report as Markdown: the evaluation table followed by one
+    /// telemetry section per prefetcher.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Run report\n\n");
+        out.push_str(&format!(
+            "{} loads per trace, seed {}, telemetry {}.\n\n",
+            self.loads,
+            self.seed,
+            if self.telemetry_enabled {
+                "enabled"
+            } else {
+                "disabled (build the harness with default features to record)"
+            }
+        ));
+        out.push_str(
+            "| workload | prefetcher | IPC | accuracy | coverage | requested | issued |\n",
+        );
+        out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                r.workload,
+                r.prefetcher,
+                f3(r.ipc),
+                pct(r.accuracy),
+                pct(r.coverage),
+                r.requested,
+                r.sim_issued
+            ));
+        }
+        out.push('\n');
+        for (label, snap) in &self.per_prefetcher {
+            out.push_str(&format!("## Telemetry: {label}\n\n"));
+            let md = snap.to_markdown();
+            if md.is_empty() {
+                out.push_str("(no metrics recorded)\n\n");
+            } else {
+                out.push_str(&md);
+            }
+        }
+        out
+    }
+
+    /// Renders the compact stdout summary (the `repro` text-table style used
+    /// by every other experiment).
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(
+            "Run report: evaluations",
+            &[
+                "trace",
+                "prefetcher",
+                "IPC",
+                "acc",
+                "cov",
+                "requested",
+                "issued",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.prefetcher.clone(),
+                f3(r.ipc),
+                pct(r.accuracy),
+                pct(r.coverage),
+                count(r.requested),
+                count(r.sim_issued),
+            ]);
+        }
+        let mut out = t.render();
+        out.push('\n');
+        for (label, snap) in &self.per_prefetcher {
+            let timers = &snap.timers;
+            if timers.is_empty() {
+                continue;
+            }
+            let mut tt = TextTable::new(
+                format!("Run report: {label} phase timings"),
+                &["phase", "spans", "total (s)"],
+            );
+            for (name, timer) in timers {
+                tt.row(vec![
+                    name.clone(),
+                    count(timer.count),
+                    format!("{:.3}", timer.total_secs()),
+                ]);
+            }
+            out.push_str(&tt.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_round_trips() {
+        let scenario = Scenario::with_loads(3000);
+        let kinds = [PrefetcherKind::NoPrefetch, PrefetcherKind::NextLine];
+        let report = run(&scenario, &kinds, &[Workload::Sphinx]);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.per_prefetcher.len(), 2);
+
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"prefetcher\":\"NextLine\""));
+
+        let md = report.to_markdown();
+        assert!(md.contains("| workload | prefetcher |"));
+        assert!(md.contains("## Telemetry: NextLine"));
+
+        let text = report.render_text();
+        assert!(text.contains("Run report: evaluations"));
+    }
+
+    #[test]
+    fn telemetry_issue_counter_matches_simulator() {
+        if !pathfinder_telemetry::enabled() {
+            return;
+        }
+        let scenario = Scenario::with_loads(4000);
+        let report = run(
+            &scenario,
+            &[PrefetcherKind::NextLine],
+            &[Workload::Sphinx],
+        );
+        let row = &report.rows[0];
+        assert!(row.sim_issued > 0, "next-line issues prefetches");
+        assert_eq!(
+            row.telemetry_issued, row.sim_issued,
+            "telemetry counter must track SimReport.prefetches_issued"
+        );
+    }
+}

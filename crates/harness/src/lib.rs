@@ -12,6 +12,17 @@
 //! * [`experiments::trace_stats`] — Tables 5, 7, 8 (workload inventory and
 //!   delta statistics).
 //! * [`experiments::hardware`] — Table 9 and the §3.5 cost summary.
+//! * [`experiments::extensions`] — the paper's stated future work (§3.4
+//!   cold-page prediction, §5 dynamic ensemble priority), measured.
+//! * [`experiments::report`] — structured run reports: every evaluation
+//!   plus the per-prefetcher telemetry snapshot that
+//!   [`Scenario::evaluate_with_telemetry`] captures, rendered as JSON and
+//!   Markdown (`repro report`).
+//!
+//! Telemetry is on by default here (the `telemetry` feature forwards
+//! `pathfinder-telemetry/enabled` through the whole dependency graph);
+//! build with `--no-default-features` to measure the instrumented hot
+//! paths at their zero-cost baseline.
 //!
 //! The `repro` binary drives all of them:
 //!
@@ -35,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;

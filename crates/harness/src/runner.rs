@@ -7,6 +7,8 @@ use pathfinder_prefetch::{
     SisbPrefetcher, SppPrefetcher, VoyagerConfig, VoyagerPrefetcher,
 };
 use pathfinder_sim::{SimConfig, Simulator, Trace};
+use pathfinder_telemetry as telemetry;
+use pathfinder_telemetry::Snapshot;
 use pathfinder_traces::Workload;
 
 use crate::metrics::Evaluation;
@@ -45,11 +47,13 @@ impl Scenario {
 
     /// Generates the workload's trace at this scenario's scale.
     pub fn trace(&self, workload: Workload) -> Trace {
+        let _span = telemetry::timer!("harness.trace_gen");
         workload.generate(self.loads, self.seed)
     }
 
     /// LLC load misses of a no-prefetch replay (coverage denominator).
     pub fn baseline_misses(&self, trace: &Trace) -> u64 {
+        let _span = telemetry::timer!("harness.baseline");
         Simulator::new(self.sim).run(trace, &[]).llc_misses
     }
 
@@ -61,30 +65,52 @@ impl Scenario {
         trace: &Trace,
         baseline_misses: u64,
     ) -> Evaluation {
+        self.evaluate_with_telemetry(kind, workload, trace, baseline_misses)
+            .0
+    }
+
+    /// Like [`Scenario::evaluate`], but also returns every telemetry metric
+    /// the run recorded, scoped to exactly this prefetcher on exactly this
+    /// trace (a fresh recorder is installed for the duration).
+    ///
+    /// With the harness's `telemetry` feature disabled the snapshot is
+    /// empty.
+    pub fn evaluate_with_telemetry(
+        &self,
+        kind: &PrefetcherKind,
+        workload: Workload,
+        trace: &Trace,
+        baseline_misses: u64,
+    ) -> (Evaluation, Snapshot) {
         let t0 = std::time::Instant::now();
-        let mut prefetcher = kind.build(self.seed);
-        let schedule = generate_prefetches(
-            prefetcher.as_mut(),
-            trace,
-            self.sim.max_prefetch_degree,
-        );
-        let t_gen = t0.elapsed();
-        let report = Simulator::new(self.sim).run(trace, &schedule);
-        if std::env::var_os("REPRO_TIMING").is_some() {
-            eprintln!(
-                "# timing {:>12} on {:<22} generate {:6.1}s replay {:5.1}s",
-                kind.label(),
-                workload.trace_name(),
-                t_gen.as_secs_f64(),
-                (t0.elapsed() - t_gen).as_secs_f64()
+        let (eval, snapshot) = telemetry::capture(|| {
+            let mut prefetcher = telemetry::time!("harness.build", kind.build(self.seed));
+            let schedule = telemetry::time!(
+                "harness.generate",
+                generate_prefetches(prefetcher.as_mut(), trace, self.sim.max_prefetch_degree)
             );
-        }
-        Evaluation {
-            prefetcher: kind.label().to_string(),
-            workload,
-            report,
-            baseline_misses,
-        }
+            let t_gen = t0.elapsed();
+            let report = telemetry::time!(
+                "harness.replay",
+                Simulator::new(self.sim).run(trace, &schedule)
+            );
+            if std::env::var_os("REPRO_TIMING").is_some() {
+                eprintln!(
+                    "# timing {:>12} on {:<22} generate {:6.1}s replay {:5.1}s",
+                    kind.label(),
+                    workload.trace_name(),
+                    t_gen.as_secs_f64(),
+                    (t0.elapsed() - t_gen).as_secs_f64()
+                );
+            }
+            Evaluation {
+                prefetcher: kind.label().to_string(),
+                workload,
+                report,
+                baseline_misses,
+            }
+        });
+        (eval, snapshot)
     }
 
     /// Convenience: generate the trace, compute the baseline, and evaluate

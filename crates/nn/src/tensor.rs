@@ -71,13 +71,12 @@ impl Tensor {
     pub fn matvec_acc(&self, x: &[f32], y: &mut [f32]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        for r in 0..self.rows {
-            let row = self.row(r);
+        for (yr, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0f32;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 
@@ -86,10 +85,8 @@ impl Tensor {
     pub fn backward_matvec(&mut self, x: &[f32], dy: &[f32], dx: Option<&mut [f32]>) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(dy.len(), self.rows);
-        for r in 0..self.rows {
-            let d = dy[r];
+        for (&d, g) in dy.iter().zip(self.grad.chunks_exact_mut(self.cols)) {
             if d != 0.0 {
-                let g = &mut self.grad[r * self.cols..(r + 1) * self.cols];
                 for (gi, xi) in g.iter_mut().zip(x) {
                     *gi += d * xi;
                 }
@@ -97,10 +94,8 @@ impl Tensor {
         }
         if let Some(dx) = dx {
             debug_assert_eq!(dx.len(), self.cols);
-            for r in 0..self.rows {
-                let d = dy[r];
+            for (&d, row) in dy.iter().zip(self.data.chunks_exact(self.cols)) {
                 if d != 0.0 {
-                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
                     for (dxi, w) in dx.iter_mut().zip(row) {
                         *dxi += d * w;
                     }

@@ -150,10 +150,8 @@ mod tests {
     fn learns_a_constant_offset() {
         let mut bo = BestOffsetPrefetcher::new(1);
         // Stream with stride 3 blocks; offset 3 should win a phase.
-        let mut i = 0u64;
         for rep in 0..4000u64 {
-            bo.on_access(&access(i, 1000 + rep * 3));
-            i += 1;
+            bo.on_access(&access(rep, 1000 + rep * 3));
         }
         assert_eq!(bo.current_offset(), 3);
     }

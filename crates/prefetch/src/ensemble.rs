@@ -226,7 +226,7 @@ impl Prefetcher for DynamicEnsemblePrefetcher {
     fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
         self.accesses += 1;
         self.score_demand(access.block());
-        if self.accesses % self.rerank_interval == 0 {
+        if self.accesses.is_multiple_of(self.rerank_interval) {
             self.rerank();
         }
 

@@ -75,8 +75,13 @@ pub struct VoyagerPrefetcher {
     /// Memoized predictions: the model is frozen after `prepare`, so each
     /// distinct history maps to a fixed (pages, offsets) answer. Histories
     /// repeat heavily on looping workloads, making inference near-free.
-    memo: HashMap<Vec<(usize, usize)>, (Vec<usize>, Vec<usize>)>,
+    memo: HashMap<HistoryKey, Prediction>,
 }
+
+/// A rolling (page token, offset) history used as the memo key.
+type HistoryKey = Vec<(usize, usize)>;
+/// Predicted (page tokens, offsets) for one history.
+type Prediction = (Vec<usize>, Vec<usize>);
 
 /// Shared-LSTM two-head network.
 struct VoyagerModel {

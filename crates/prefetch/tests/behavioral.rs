@@ -50,16 +50,6 @@ fn strided(n: u64, stride: u64) -> Trace {
         .collect()
 }
 
-fn delta_cycle(n: u64, deltas: &[u64]) -> Trace {
-    let mut block = 1000u64;
-    (0..n)
-        .map(|i| {
-            block += deltas[i as usize % deltas.len()];
-            MemoryAccess::new(i, 0x400, block * 64)
-        })
-        .collect()
-}
-
 fn irregular_loop(n: u64) -> Trace {
     // A repeating tour of scattered blocks (temporal structure only).
     let tour: Vec<u64> = (0..64).map(|i| (i * 7919) % 4096).collect();

@@ -5,6 +5,8 @@
 //! read queue. The model answers a single question for the replay engine:
 //! *given a block request arriving at cycle `t`, when does its data return?*
 
+use pathfinder_telemetry as telemetry;
+
 use crate::addr::Block;
 use crate::config::DramConfig;
 
@@ -107,9 +109,18 @@ impl DramModel {
     pub fn service(&mut self, block: Block, now: u64) -> u64 {
         let (outcome, done) = self.service_classified(block, now);
         match outcome {
-            RowOutcome::Hit => self.stats.row_hits += 1,
-            RowOutcome::Conflict => self.stats.row_conflicts += 1,
-            RowOutcome::Empty => self.stats.row_empties += 1,
+            RowOutcome::Hit => {
+                self.stats.row_hits += 1;
+                telemetry::counter!("sim.dram.row_hits", 1);
+            }
+            RowOutcome::Conflict => {
+                self.stats.row_conflicts += 1;
+                telemetry::counter!("sim.dram.row_conflicts", 1);
+            }
+            RowOutcome::Empty => {
+                self.stats.row_empties += 1;
+                telemetry::counter!("sim.dram.row_empties", 1);
+            }
         }
         done
     }
@@ -123,12 +134,14 @@ impl DramModel {
         self.inflight.retain(|&c| c > now);
         if self.inflight.len() + 4 >= self.config.read_queue_size {
             self.stats.prefetches_dropped += 1;
+            telemetry::counter!("sim.dram.prefetches_dropped", 1);
             return None;
         }
         let (bank_idx, _) = self.map(block);
         let congestion_slack = 2 * self.config.t_cas;
         if self.banks[bank_idx].free_at > now + congestion_slack {
             self.stats.prefetches_dropped += 1;
+            telemetry::counter!("sim.dram.prefetches_dropped", 1);
             return None;
         }
         Some(self.service(block, now))
@@ -137,14 +150,18 @@ impl DramModel {
     /// Like [`DramModel::service`] but also reports the row-buffer outcome.
     pub fn service_classified(&mut self, block: Block, now: u64) -> (RowOutcome, u64) {
         self.stats.requests += 1;
+        telemetry::counter!("sim.dram.requests", 1);
 
         // Bounded read queue: if full, the request waits until the oldest
         // in-flight read drains.
         let mut start = now;
         self.inflight.retain(|&c| c > start);
+        telemetry::histogram!("sim.dram.queue_depth", self.inflight.len() as u64);
         if self.inflight.len() >= self.config.read_queue_size {
             let earliest = *self.inflight.iter().min().expect("non-empty queue");
-            self.stats.queue_stall_cycles += earliest.saturating_sub(start);
+            let stall = earliest.saturating_sub(start);
+            self.stats.queue_stall_cycles += stall;
+            telemetry::counter!("sim.dram.queue_stall_cycles", stall);
             start = earliest;
             self.inflight.retain(|&c| c > start);
         }

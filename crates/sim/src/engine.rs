@@ -8,6 +8,8 @@
 
 use std::collections::BinaryHeap;
 
+use pathfinder_telemetry as telemetry;
+
 use crate::access::{MemoryAccess, PrefetchRequest, Trace};
 use crate::addr::Block;
 use crate::cache::{Cache, LookupResult};
@@ -108,6 +110,7 @@ impl Simulator {
             prefetches.windows(2).all(|w| w[0].trigger_instr_id <= w[1].trigger_instr_id),
             "prefetch schedule must be sorted by trigger instruction"
         );
+        let _replay_span = telemetry::timer!("sim.replay");
         let mut pf_cursor = 0usize;
         let mut measured_start_cycle = 0u64;
         let mut measured_start_instr = 0u64;
@@ -161,7 +164,9 @@ impl Simulator {
                 break;
             }
         }
+        telemetry::histogram!("sim.mshr.occupancy", self.outstanding.len() as u64);
         if self.outstanding.len() >= self.config.core.mshrs {
+            telemetry::counter!("sim.mshr.stalls", 1);
             if let Some(std::cmp::Reverse(done)) = self.outstanding.pop() {
                 issue = issue.max(done);
             }
@@ -188,15 +193,19 @@ impl Simulator {
             if measuring {
                 self.report.l1d_hits += 1;
             }
+            telemetry::counter!("sim.l1d.hits", 1);
             return self.config.l1_hit_latency();
         }
+        telemetry::counter!("sim.l1d.misses", 1);
         if let LookupResult::Hit { .. } = self.l2.demand_access(block, issue) {
             if measuring {
                 self.report.l2_hits += 1;
             }
+            telemetry::counter!("sim.l2.hits", 1);
             self.l1d.fill(block, false, 0);
             return self.config.l2_hit_latency();
         }
+        telemetry::counter!("sim.l2.misses", 1);
 
         if measuring {
             self.report.llc_load_accesses += 1;
@@ -206,12 +215,15 @@ impl Simulator {
                 first_demand_to_prefetch,
                 fill_ready_cycle,
             } => {
+                telemetry::counter!("sim.llc.hits", 1);
                 if measuring {
                     self.report.llc_hits += 1;
                     if first_demand_to_prefetch {
                         self.report.prefetches_useful += 1;
+                        telemetry::counter!("sim.prefetch.useful", 1);
                         if fill_ready_cycle > issue {
                             self.report.prefetches_late += 1;
+                            telemetry::counter!("sim.prefetch.late", 1);
                         }
                     }
                 }
@@ -224,6 +236,7 @@ impl Simulator {
                 self.config.llc_hit_latency().max(wait)
             }
             LookupResult::Miss => {
+                telemetry::counter!("sim.llc.misses", 1);
                 if measuring {
                     self.report.llc_misses += 1;
                 }
@@ -242,6 +255,7 @@ impl Simulator {
     /// side may shed the request under demand load.
     fn issue_prefetch(&mut self, block: Block, now: u64, measuring: bool) {
         if self.llc.probe(block) {
+            telemetry::counter!("sim.prefetch.filtered", 1);
             return; // already resident (or already being prefetched)
         }
         let Some(data_back) = self
@@ -252,6 +266,9 @@ impl Simulator {
         };
         if measuring {
             self.report.prefetches_issued += 1;
+            // Kept in lockstep with `report.prefetches_issued` — the
+            // harness's run-report integration test asserts equality.
+            telemetry::counter!("sim.prefetch.issued", 1);
         }
         self.llc.fill(block, true, data_back);
     }

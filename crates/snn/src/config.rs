@@ -197,12 +197,16 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = SnnConfig::default();
-        c.n_exc = 0;
+        let c = SnnConfig {
+            n_exc: 0,
+            ..SnnConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SnnConfig::default();
-        c.max_rate = 1.5;
+        let c = SnnConfig {
+            max_rate: 1.5,
+            ..SnnConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SnnConfig::default();

@@ -3,6 +3,7 @@
 //! via STDP, and a one-to-one inhibitory layer providing lateral inhibition
 //! (§3.1, Figure 1).
 
+use pathfinder_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -160,6 +161,9 @@ impl DiehlCookNetwork {
             "rates length must equal n_input"
         );
         self.presentations += 1;
+        let _present_span = telemetry::timer!("snn.present");
+        let mut input_spike_total = 0u64;
+        let mut stdp_updates = 0u64;
         // Fresh state per presentation (weights and theta persist).
         self.exc.reset_state();
         self.inh.reset_state();
@@ -235,12 +239,30 @@ impl DiehlCookNetwork {
 
             // 7. STDP (PostPre): traces decay, then spikes update weights.
             if learn {
-                self.stdp_tick(&input_spikes, &exc_spikes);
+                stdp_updates += self.stdp_tick(&input_spikes, &exc_spikes);
+            }
+            if telemetry::enabled() {
+                input_spike_total += input_spikes.len() as u64;
             }
         }
 
         if learn {
             self.normalize_dirty();
+        }
+
+        // Batched per presentation so the hot tick loop pays at most a few
+        // local adds even with telemetry compiled in; the whole block folds
+        // away when the feature is off.
+        if telemetry::enabled() {
+            telemetry::counter!("snn.presentations", 1);
+            telemetry::counter!(
+                "snn.exc.spikes",
+                spike_counts.iter().map(|&c| c as u64).sum::<u64>()
+            );
+            telemetry::counter!("snn.input.spikes", input_spike_total);
+            if learn {
+                telemetry::counter!("snn.stdp.weight_updates", stdp_updates);
+            }
         }
 
         let winner = Self::pick_winner(&spike_counts, &first_fire, &drive_scores);
@@ -317,7 +339,11 @@ impl DiehlCookNetwork {
             .map(|(j, _)| j)
     }
 
-    fn stdp_tick(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) {
+    /// Applies one tick of PostPre STDP; returns the number of synapses
+    /// touched (0 when telemetry is compiled out — the count is only
+    /// maintained for observability).
+    fn stdp_tick(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) -> u64 {
+        let mut touched = 0u64;
         let n_exc = self.cfg.n_exc;
         let stdp = self.cfg.stdp;
         // Trace decay.
@@ -337,6 +363,9 @@ impl DiehlCookNetwork {
                 if xp > 1e-3 {
                     *w = (*w - stdp.nu_pre * xp).max(0.0);
                     self.dirty_cols[j] = true;
+                    if telemetry::enabled() {
+                        touched += 1;
+                    }
                 }
             }
         }
@@ -350,20 +379,28 @@ impl DiehlCookNetwork {
                 if xp > 1e-3 {
                     let w = &mut self.weights[i * n_exc + j];
                     *w = (*w + stdp.nu_post * xp).min(stdp.w_max);
+                    if telemetry::enabled() {
+                        touched += 1;
+                    }
                 }
             }
         }
+        touched
     }
 
     /// Renormalizes the incoming-weight sum of every column STDP touched to
     /// `norm` (Table 4: 38.4), as BindsNet does after each sample.
     fn normalize_dirty(&mut self) {
         let n_exc = self.cfg.n_exc;
+        let mut normalized = 0u64;
         for j in 0..n_exc {
             if !self.dirty_cols[j] {
                 continue;
             }
             self.dirty_cols[j] = false;
+            if telemetry::enabled() {
+                normalized += 1;
+            }
             let mut sum = 0.0f32;
             for i in 0..self.cfg.n_input {
                 sum += self.weights[i * n_exc + j];
@@ -374,6 +411,10 @@ impl DiehlCookNetwork {
                     self.weights[i * n_exc + j] *= scale;
                 }
             }
+        }
+        if telemetry::enabled() && normalized > 0 {
+            telemetry::counter!("snn.norm.passes", 1);
+            telemetry::counter!("snn.norm.columns", normalized);
         }
     }
 
@@ -391,6 +432,7 @@ impl DiehlCookNetwork {
             "rates length must equal n_input"
         );
         self.presentations += 1;
+        telemetry::counter!("snn.one_tick.presentations", 1);
         self.exc.reset_state();
         let n_exc = self.cfg.n_exc;
         let winner = self.expected_drive_argmax(rates);
@@ -594,7 +636,7 @@ mod tests {
     #[test]
     fn empty_input_produces_no_spikes() {
         let mut net = DiehlCookNetwork::new(small_cfg(), 4).unwrap();
-        let out = net.present(&vec![0.0; 24], true);
+        let out = net.present(&[0.0; 24], true);
         assert_eq!(out.winner, None);
         assert!(out.fired.is_empty());
         assert_eq!(out.spike_counts.iter().sum::<u32>(), 0);

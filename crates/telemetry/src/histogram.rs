@@ -1,0 +1,211 @@
+//! Log₂-bucketed histogram.
+//!
+//! Values are `u64`s (cycles, nanoseconds, queue depths, …) binned by the
+//! position of their highest set bit, so 64 fixed buckets cover the full
+//! `u64` range with ≤2× relative bucket width — the usual trade for O(1)
+//! recording with no preconfigured bounds.
+
+/// Number of buckets: one for zero plus one per possible highest-bit
+/// position of a non-zero `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// Returns the bucket index for `value`.
+///
+/// Bucket 0 holds exactly `0`; bucket `b >= 1` holds
+/// `[2^(b-1), 2^b - 1]` — i.e. `1` → 1, `2..=3` → 2, `4..=7` → 3, …
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index` (saturating for the top bucket).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A log₂-bucketed distribution of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw bucket counts (index via [`bucket_index`]).
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the upper bound of the first
+    /// bucket at which the cumulative count reaches `q * count`, clamped to
+    /// the observed max. `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound maps back into that bucket.
+        for b in 0..N_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [3u64, 9, 0, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 112);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(28.0));
+        assert_eq!(h.buckets()[bucket_index(0)], 1);
+        assert_eq!(h.buckets()[bucket_index(3)], 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // The true median is 500; bucket resolution gives the upper bound of
+        // its bucket [512, 1023] clamped to max — within 2x.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert!(h.quantile(0.0).unwrap() <= 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(50);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 57);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(50));
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn saturating_sum() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,553 @@
+//! Immutable, owned views of recorded metrics, plus JSON and Markdown
+//! rendering. Snapshots are always compiled (even with telemetry disabled)
+//! so report-handling code needs no feature gates.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+
+/// Aggregate state of one histogram at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Approximate median (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Non-empty log₂ buckets as `(bucket_index, count)` pairs.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Captures the aggregate state of `h`.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            p50: h.quantile(0.5).unwrap_or(0),
+            p99: h.quantile(0.99).unwrap_or(0),
+            buckets: h
+                .buckets()
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i, n))
+                .collect(),
+        }
+    }
+
+    /// Mean sample value, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Aggregate state of one timer: span count and total wall-clock time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total time across spans, nanoseconds (saturating).
+    pub total_ns: u64,
+}
+
+impl TimerSnapshot {
+    /// Mean span duration in nanoseconds, or `None` if no spans completed.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+
+    /// Total time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Every metric a recorder held at one point in time, keyed by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram aggregates.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Timer aggregates.
+    pub timers: BTreeMap<String, TimerSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, 0 if never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Aggregate of histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Aggregate of timer `name`, if recorded.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.get(name)
+    }
+
+    /// True when no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.timers.is_empty()
+    }
+
+    /// Folds `other` into this snapshot: counters/timers/histogram stats
+    /// add, gauges take `other`'s value (last write wins).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            if dst.count == 0 {
+                *dst = h.clone();
+            } else if h.count > 0 {
+                dst.min = dst.min.min(h.min);
+                dst.max = dst.max.max(h.max);
+                dst.sum = dst.sum.saturating_add(h.sum);
+                dst.count += h.count;
+                // Re-derive merged percentiles from the combined buckets.
+                let mut merged: BTreeMap<usize, u64> = dst.buckets.iter().copied().collect();
+                for &(i, n) in &h.buckets {
+                    *merged.entry(i).or_insert(0) += n;
+                }
+                dst.buckets = merged.into_iter().collect();
+                dst.p50 = approx_quantile(&dst.buckets, dst.count, 0.5).min(dst.max);
+                dst.p99 = approx_quantile(&dst.buckets, dst.count, 0.99).min(dst.max);
+            }
+        }
+        for (k, t) in &other.timers {
+            let dst = self.timers.entry(k.clone()).or_default();
+            dst.count += t.count;
+            dst.total_ns = dst.total_ns.saturating_add(t.total_ns);
+        }
+    }
+
+    /// Renders the snapshot as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Writes the JSON rendering into `out` (used by report emitters that
+    /// nest snapshots inside a larger document).
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(out, k);
+            out.push(':');
+            json_f64(out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max, h.p50, h.p99
+            );
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"timers\":{");
+        for (i, (k, t)) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(out, k);
+            let _ = write!(out, ":{{\"count\":{},\"total_ns\":{}}}", t.count, t.total_ns);
+        }
+        out.push_str("}}");
+    }
+
+    /// Renders the snapshot as Markdown tables (one per metric kind),
+    /// skipping empty kinds. Returns an empty string for an empty snapshot.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("| counter | value |\n|---|---:|\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "| `{k}` | {v} |");
+            }
+            out.push('\n');
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("| gauge | value |\n|---|---:|\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "| `{k}` | {v:.4} |");
+            }
+            out.push('\n');
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "| histogram | count | mean | p50 | p99 | max |\n|---|---:|---:|---:|---:|---:|\n",
+            );
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "| `{k}` | {} | {:.1} | {} | {} | {} |",
+                    h.count,
+                    h.mean().unwrap_or(0.0),
+                    h.p50,
+                    h.p99,
+                    h.max
+                );
+            }
+            out.push('\n');
+        }
+        if !self.timers.is_empty() {
+            out.push_str("| timer | spans | total | mean |\n|---|---:|---:|---:|\n");
+            for (k, t) in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "| `{k}` | {} | {} | {} |",
+                    t.count,
+                    human_ns(t.total_ns),
+                    human_ns(t.mean_ns().unwrap_or(0.0) as u64)
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn approx_quantile(buckets: &[(usize, u64)], count: u64, q: f64) -> u64 {
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for &(i, n) in buckets {
+        cumulative += n;
+        if cumulative >= target {
+            return crate::histogram::bucket_upper_bound(i);
+        }
+    }
+    buckets
+        .last()
+        .map(|&(i, _)| crate::histogram::bucket_upper_bound(i))
+        .unwrap_or(0)
+}
+
+pub(crate) use crate::json::{write_f64 as json_f64, write_string as json_string};
+
+/// Formats nanoseconds with an adaptive unit for human-facing tables.
+fn human_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 900] {
+            h.record(v);
+        }
+        Snapshot {
+            counters: [("pf.issued".to_string(), 42u64)].into_iter().collect(),
+            gauges: [("occupancy".to_string(), 0.75f64)].into_iter().collect(),
+            histograms: [(
+                "depth".to_string(),
+                HistogramSnapshot::from_histogram(&h),
+            )]
+            .into_iter()
+            .collect(),
+            timers: [(
+                "phase".to_string(),
+                TimerSnapshot {
+                    count: 2,
+                    total_ns: 3_000,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// Minimal JSON reader used only to verify `to_json` emits a document a
+    /// standard parser would accept and that values survive the trip.
+    mod json {
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, PartialEq)]
+        pub enum Value {
+            Null,
+            Number(f64),
+            String(String),
+            Array(Vec<Value>),
+            Object(BTreeMap<String, Value>),
+        }
+
+        pub fn parse(s: &str) -> Result<Value, String> {
+            let bytes = s.as_bytes();
+            let mut pos = 0;
+            let v = value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing input at {pos}"));
+            }
+            Ok(v)
+        }
+
+        fn skip_ws(b: &[u8], pos: &mut usize) {
+            while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+
+        fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b'{') => object(b, pos),
+                Some(b'[') => array(b, pos),
+                Some(b'"') => Ok(Value::String(string(b, pos)?)),
+                Some(b'n') => {
+                    if b[*pos..].starts_with(b"null") {
+                        *pos += 4;
+                        Ok(Value::Null)
+                    } else {
+                        Err(format!("bad literal at {pos}"))
+                    }
+                }
+                Some(_) => number(b, pos),
+                None => Err("unexpected end".into()),
+            }
+        }
+
+        fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            *pos += 1; // '{'
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                map.insert(key, value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            *pos += 1; // '['
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+
+        fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected '\"' at {pos}"));
+            }
+            *pos += 1;
+            let mut out = String::new();
+            while let Some(&c) = b.get(*pos) {
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *b.get(*pos).ok_or("truncated escape")?;
+                        *pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                                    .map_err(|e| e.to_string())?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other}")),
+                        }
+                    }
+                    c => out.push(c as char),
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            let start = *pos;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_a_parser() {
+        let snap = sample_snapshot();
+        let parsed = json::parse(&snap.to_json()).expect("to_json emits valid JSON");
+        let json::Value::Object(root) = parsed else {
+            panic!("root must be an object");
+        };
+        let json::Value::Object(counters) = &root["counters"] else {
+            panic!("counters must be an object");
+        };
+        assert_eq!(counters["pf.issued"], json::Value::Number(42.0));
+        let json::Value::Object(gauges) = &root["gauges"] else {
+            panic!("gauges must be an object");
+        };
+        assert_eq!(gauges["occupancy"], json::Value::Number(0.75));
+        let json::Value::Object(hists) = &root["histograms"] else {
+            panic!("histograms must be an object");
+        };
+        let json::Value::Object(depth) = &hists["depth"] else {
+            panic!("histogram entry must be an object");
+        };
+        assert_eq!(depth["count"], json::Value::Number(4.0));
+        assert_eq!(depth["sum"], json::Value::Number(906.0));
+        let json::Value::Object(timers) = &root["timers"] else {
+            panic!("timers must be an object");
+        };
+        let json::Value::Object(phase) = &timers["phase"] else {
+            panic!("timer entry must be an object");
+        };
+        assert_eq!(phase["total_ns"], json::Value::Number(3000.0));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let mut f = String::new();
+        json_f64(&mut f, f64::NAN);
+        json_f64(&mut f, 2.5);
+        assert_eq!(f, "null2.5");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            r#"{"counters":{},"gauges":{},"histograms":{},"timers":{}}"#
+        );
+        assert_eq!(snap.to_markdown(), "");
+    }
+
+    #[test]
+    fn markdown_lists_all_kinds() {
+        let md = sample_snapshot().to_markdown();
+        assert!(md.contains("| `pf.issued` | 42 |"));
+        assert!(md.contains("| `occupancy` | 0.7500 |"));
+        assert!(md.contains("`depth`"));
+        assert!(md.contains("| `phase` | 2 | 3.0 us | 1.5 us |"));
+    }
+
+    #[test]
+    fn merge_accumulates_across_snapshots() {
+        let mut a = sample_snapshot();
+        let b = sample_snapshot();
+        a.merge(&b);
+        assert_eq!(a.counter("pf.issued"), 84);
+        assert_eq!(a.gauge("occupancy"), Some(0.75));
+        let h = a.histogram("depth").unwrap();
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 1812);
+        assert_eq!(h.max, 900);
+        assert!(h.p50 <= h.p99 && h.p99 <= h.max);
+        assert_eq!(a.timer("phase").map(|t| t.count), Some(4));
+        // Merging into an empty snapshot copies wholesale.
+        let mut empty = Snapshot::default();
+        empty.merge(&b);
+        assert_eq!(empty.histogram("depth").unwrap().count, 4);
+    }
+}

@@ -213,7 +213,7 @@ pub fn generate_cc(loads: usize, mean_gap: u64, seed: u64) -> Trace {
                 // walks sequentially with the outer loop and stays cached,
                 // so only a fraction of its probes reach the trace; the
                 // random `v` side mostly misses.
-                if edge_idx % 4 == 0 {
+                if edge_idx.is_multiple_of(4) {
                     em.emit_dep(&mut rng, PC_STATE, STATE_BASE + u as u64 * 4);
                 }
                 // The preferential-attachment bias means most `v` endpoints

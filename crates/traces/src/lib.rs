@@ -23,6 +23,10 @@
 //!          Workload::Bfs10, Workload::Bfs10.instructions_per_load());
 //! ```
 
+// Base-address constants throughout the generators are grouped as
+// segment_page_offset (e.g. 0x70_000_0000), not in equal-width digit
+// groups: the grouping mirrors the address-space layout being modelled.
+#![allow(clippy::unusual_byte_groupings)]
 #![warn(missing_docs)]
 
 pub mod catalog;

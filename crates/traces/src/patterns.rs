@@ -458,7 +458,7 @@ mod tests {
             indices.push(h.next_addr(&mut r) / 64);
         }
         // All indices within heap, and the walk revisits the root.
-        assert!(indices.iter().all(|&i| i >= 1 && i < 8));
+        assert!(indices.iter().all(|&i| (1..8).contains(&i)));
         assert!(indices.iter().filter(|&&i| i == 1).count() >= 2);
     }
 

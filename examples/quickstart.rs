@@ -6,7 +6,7 @@
 //! ```
 
 use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher};
-use pathfinder_prefetch::{generate_prefetches, Prefetcher};
+use pathfinder_prefetch::generate_prefetches;
 use pathfinder_sim::{SimConfig, Simulator};
 use pathfinder_traces::Workload;
 

@@ -1,0 +1,9 @@
+//! Workspace-root `repro` shim so `cargo run --release --bin repro` works
+//! without `-p pathfinder-harness`. See [`pathfinder_harness::cli`] for the
+//! experiment list and flags.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pathfinder_suite::harness::cli::main()
+}

@@ -13,6 +13,7 @@
 //! * [`core`] — PATHFINDER itself
 //! * [`hw`] — area/power model
 //! * [`harness`] — experiment runners for every paper table/figure
+//! * [`telemetry`] — zero-cost counters/timers and run-report snapshots
 //!
 //! ```
 //! use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher};
@@ -33,4 +34,5 @@ pub use pathfinder_nn as nn;
 pub use pathfinder_prefetch as prefetch;
 pub use pathfinder_sim as sim;
 pub use pathfinder_snn as snn;
+pub use pathfinder_telemetry as telemetry;
 pub use pathfinder_traces as traces;

@@ -3,7 +3,7 @@
 
 use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher};
 use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
-use pathfinder_suite::prefetch::{generate_prefetches, Prefetcher, PythiaPrefetcher};
+use pathfinder_suite::prefetch::{generate_prefetches, PythiaPrefetcher};
 use pathfinder_suite::sim::{SimConfig, Simulator};
 use pathfinder_suite::snn::{DiehlCookNetwork, SnnConfig};
 use pathfinder_suite::traces::Workload;

@@ -4,7 +4,7 @@
 use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher, Readout};
 use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
 use pathfinder_suite::prefetch::{
-    generate_prefetches, NoPrefetcher, OraclePrefetcher, Prefetcher,
+    generate_prefetches, NoPrefetcher, OraclePrefetcher,
 };
 use pathfinder_suite::sim::{SimConfig, Simulator};
 use pathfinder_suite::traces::Workload;

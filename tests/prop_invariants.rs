@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use pathfinder_suite::core::{InferenceTable, PathfinderConfig, PixelMatrixEncoder, TrainingTable};
-use pathfinder_suite::prefetch::{generate_prefetches, Prefetcher, SppPrefetcher};
+use pathfinder_suite::prefetch::{generate_prefetches, SppPrefetcher};
 use pathfinder_suite::sim::{
     Block, Cache, CacheConfig, CoreConfig, DramConfig, DramModel, MemoryAccess, RobModel, Trace,
 };

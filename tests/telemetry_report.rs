@@ -1,0 +1,130 @@
+//! Integration tests for the telemetry pipeline end to end: instrumented
+//! crates → per-evaluation capture → RunReport emission.
+//!
+//! The harness is built with its default features here, which turn on
+//! `pathfinder-telemetry/enabled` across the whole dependency graph, so
+//! these tests exercise the *recording* path (the zero-cost disabled path is
+//! covered by the telemetry crate's own `--no-default-features` tests).
+
+use pathfinder_suite::harness::experiments::report;
+use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_suite::telemetry;
+use pathfinder_suite::traces::Workload;
+
+#[test]
+fn telemetry_is_compiled_in_for_the_suite() {
+    assert!(
+        telemetry::enabled(),
+        "the facade must pull in the harness's default `telemetry` feature"
+    );
+}
+
+/// The contract stated in `sim::engine::issue_prefetch`: the
+/// `sim.prefetch.issued` counter is incremented in lockstep with
+/// `SimReport::prefetches_issued`, so a run report's telemetry column always
+/// agrees with the simulator's own statistics.
+#[test]
+fn run_report_issue_counter_matches_sim_report() {
+    let scenario = Scenario::with_loads(8000);
+    let trace = scenario.trace(Workload::Sphinx);
+    let baseline = scenario.baseline_misses(&trace);
+
+    for kind in [
+        PrefetcherKind::NoPrefetch,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::BestOffset,
+    ] {
+        let (eval, snap) =
+            scenario.evaluate_with_telemetry(&kind, Workload::Sphinx, &trace, baseline);
+        assert_eq!(
+            snap.counter("sim.prefetch.issued"),
+            eval.report.prefetches_issued,
+            "telemetry vs SimReport disagree for {}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn capture_scopes_each_prefetcher_separately() {
+    let scenario = Scenario::with_loads(6000);
+    let trace = scenario.trace(Workload::Cc5);
+    let baseline = scenario.baseline_misses(&trace);
+
+    let (none_eval, none_snap) = scenario.evaluate_with_telemetry(
+        &PrefetcherKind::NoPrefetch,
+        Workload::Cc5,
+        &trace,
+        baseline,
+    );
+    let (nl_eval, nl_snap) =
+        scenario.evaluate_with_telemetry(&PrefetcherKind::NextLine, Workload::Cc5, &trace, baseline);
+
+    // NoPrefetch issues nothing; its snapshot must not have absorbed the
+    // next-line run's traffic (and vice versa).
+    assert_eq!(none_eval.report.prefetches_issued, 0);
+    assert_eq!(none_snap.counter("sim.prefetch.issued"), 0);
+    assert!(nl_eval.report.prefetches_issued > 0);
+    assert_eq!(
+        nl_snap.counter("sim.prefetch.issued"),
+        nl_eval.report.prefetches_issued
+    );
+
+    // Every evaluation replays through the simulator, so demand-side metrics
+    // and phase timers must be present in both snapshots.
+    for snap in [&none_snap, &nl_snap] {
+        assert!(snap.counter("sim.l1d.hits") + snap.counter("sim.l1d.misses") > 0);
+        assert!(snap.timer("harness.replay").is_some());
+        assert!(snap.timer("harness.generate").is_some());
+    }
+}
+
+#[test]
+fn run_report_json_and_markdown_cover_all_rows() {
+    let scenario = Scenario::with_loads(5000);
+    let kinds = [PrefetcherKind::NoPrefetch, PrefetcherKind::NextLine];
+    let rep = report::run(&scenario, &kinds, &[Workload::Sphinx, Workload::Mcf]);
+
+    assert_eq!(rep.rows.len(), 4, "2 workloads x 2 prefetchers");
+    assert!(rep.telemetry_enabled);
+
+    let json = rep.to_json();
+    for key in [
+        "\"loads\":5000",
+        "\"telemetry_enabled\":true",
+        "\"prefetches_issued\"",
+        "\"sim.prefetch.issued\"",
+        "\"harness.replay\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+
+    let md = rep.to_markdown();
+    assert!(md.contains("## Telemetry: NextLine"));
+    assert!(md.contains("| workload | prefetcher |"));
+}
+
+/// PATHFINDER itself must light up the SNN- and prefetcher-level metrics the
+/// paper's analysis sections rely on (spike counts for §4.7's activity
+/// argument, training-table traffic for the Table 4 storage discussion).
+#[test]
+fn pathfinder_run_records_snn_and_table_metrics() {
+    let scenario = Scenario::with_loads(6000);
+    let trace = scenario.trace(Workload::Sphinx);
+    let baseline = scenario.baseline_misses(&trace);
+
+    let (_eval, snap) = scenario.evaluate_with_telemetry(
+        &PrefetcherKind::Pathfinder(Default::default()),
+        Workload::Sphinx,
+        &trace,
+        baseline,
+    );
+
+    assert!(snap.counter("pf.accesses") > 0);
+    assert!(snap.counter("snn.presentations") > 0);
+    assert!(snap.counter("snn.input.spikes") > 0);
+    assert!(
+        snap.counter("pf.train.hits") + snap.counter("pf.train.misses") > 0,
+        "training-table traffic must be recorded"
+    );
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for `crossbeam`, providing only `crossbeam::thread::scope`
+//! backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Behavioral difference from real crossbeam: if a spawned thread panics, the
+//! panic propagates out of `scope` instead of being returned as `Err`. The
+//! workspace immediately `.expect()`s the result, so both behaviors abort the
+//! run identically.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// A scope handle passed to [`scope`]'s closure; spawned closures receive
+    /// a fresh handle so they can spawn siblings, as in crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a [`Scope`] handle.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the enclosing
+    /// environment can be spawned; all are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_slots() {
+        let mut out = [0usize; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, [0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait *names* and re-exports the
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` compile without the crates.io
+//! registry. No serialization machinery is provided — nothing in the
+//! workspace invokes it (JSON emission is hand-rolled in
+//! `pathfinder-telemetry` / `pathfinder-harness`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

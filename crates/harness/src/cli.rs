@@ -1,7 +1,7 @@
 //! The `repro` command-line interface — regenerates every table and figure of the PATHFINDER paper.
 //!
 //! ```text
-//! repro <experiment> [--loads N] [--seed S]
+//! repro <experiment> [--loads N] [--seed S] [--threads T]
 //!
 //! experiments:
 //!   all    every experiment below, in order
@@ -21,6 +21,11 @@
 //!   report structured run report with telemetry (also writes run_report.json
 //!          and run_report.md next to the working directory)
 //! ```
+//!
+//! `--threads T` bounds the sweep engine's worker pool (default: available
+//! parallelism). Results are bit-identical at any thread count; traces and
+//! no-prefetch baselines are generated once per process and shared across
+//! experiments (see [`crate::engine`]).
 
 use std::process::ExitCode;
 
@@ -33,6 +38,7 @@ struct Args {
     loads: usize,
     sweep_loads: usize,
     seed: u64,
+    threads: Option<usize>,
     workloads: Vec<Workload>,
 }
 
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut loads = 100_000usize;
     let mut sweep_loads = 0usize;
     let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +78,18 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = argv
+                    .get(i)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
             }
             "--workload" => {
                 i += 1;
@@ -103,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         loads,
         sweep_loads,
         seed,
+        threads,
         workloads,
     })
 }
@@ -117,7 +137,7 @@ pub fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report] \
-                 [--loads N] [--sweep-loads N] [--seed S]"
+                 [--loads N] [--sweep-loads N] [--seed S] [--threads T] [--workload NAME]..."
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -126,6 +146,10 @@ pub fn main() -> ExitCode {
             };
         }
     };
+
+    if let Some(n) = args.threads {
+        crate::engine::set_threads(n);
+    }
 
     let scenario = Scenario {
         loads: args.loads,
@@ -140,12 +164,13 @@ pub fn main() -> ExitCode {
     let all = args.workloads.clone();
 
     eprintln!(
-        "# repro: experiment={} loads={} sweep_loads={} seed={} workloads={}",
+        "# repro: experiment={} loads={} sweep_loads={} seed={} workloads={} threads={}",
         args.experiment,
         args.loads,
         args.sweep_loads,
         args.seed,
-        all.len()
+        all.len(),
+        crate::engine::threads()
     );
 
     let run_one = |name: &str| -> Option<String> {

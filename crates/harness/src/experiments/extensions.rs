@@ -5,8 +5,9 @@
 use pathfinder_core::PathfinderConfig;
 use pathfinder_traces::Workload;
 
+use crate::engine::run_grid;
 use crate::metrics::{mean, Evaluation};
-use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::runner::{PrefetcherKind, Scenario};
 use crate::table::{f3, pct, TextTable};
 
 /// The extension line-up: PATHFINDER alone, the paper's fixed ensemble, the
@@ -21,10 +22,14 @@ pub fn lineup() -> Vec<PrefetcherKind> {
     ]
 }
 
-/// Runs the extension comparison on the given workloads.
+/// Runs the extension comparison on the given workloads, cell-parallel on
+/// the sweep engine.
 pub fn run(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Vec<Evaluation>>, String) {
     let kinds = lineup();
-    let evals = per_workload(workloads, |w| scenario.evaluate_all(&kinds, w));
+    let evals: Vec<Vec<Evaluation>> = run_grid(scenario, &kinds, workloads)
+        .into_iter()
+        .map(|row| row.into_iter().map(|(eval, _)| eval).collect())
+        .collect();
 
     let mut header = vec!["trace"];
     let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();

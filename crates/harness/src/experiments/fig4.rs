@@ -3,8 +3,9 @@
 
 use pathfinder_traces::Workload;
 
+use crate::engine::run_grid;
 use crate::metrics::{mean, Evaluation};
-use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::runner::{PrefetcherKind, Scenario};
 use crate::table::{count, f3, pct, TextTable};
 
 /// Results indexed `[workload][prefetcher]` in line-up order.
@@ -42,9 +43,16 @@ pub fn run(scenario: &Scenario) -> Fig4Result {
 }
 
 /// Runs Figure 4 on a workload subset (used by tests and benches).
+///
+/// Every (prefetcher × workload) cell is an independent unit of work on the
+/// sweep engine's pool; the shared [`crate::engine::TraceStore`] generates
+/// each trace and baseline once.
 pub fn run_with(scenario: &Scenario, workloads: &[Workload]) -> Fig4Result {
     let kinds = PrefetcherKind::figure4_lineup();
-    let evals = per_workload(workloads, |w| scenario.evaluate_all(&kinds, w));
+    let evals = run_grid(scenario, &kinds, workloads)
+        .into_iter()
+        .map(|row| row.into_iter().map(|(eval, _)| eval).collect())
+        .collect();
     Fig4Result { evals }
 }
 
@@ -97,10 +105,12 @@ pub fn render(r: &Fig4Result) -> String {
     );
     let mut sums = [0u64; 3];
     for ws in &r.evals {
+        // Table 6 counts prefetches the *prefetcher* submitted (the paper
+        // caps them at 2 per access), not the post-filter injections.
         let find = |label: &str| {
             ws.iter()
                 .find(|e| e.prefetcher == label)
-                .map_or(0, |e| e.issued())
+                .map_or(0, |e| e.requested())
         };
         let (s, p, pf) = (find("SPP"), find("Pythia"), find("PATHFINDER"));
         sums[0] += s;

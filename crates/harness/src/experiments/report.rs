@@ -12,7 +12,8 @@
 use pathfinder_telemetry::{json, Snapshot};
 use pathfinder_traces::Workload;
 
-use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::engine;
+use crate::runner::{PrefetcherKind, Scenario};
 use crate::table::{count, f3, pct, TextTable};
 
 /// One (workload, prefetcher) evaluation in a [`RunReport`].
@@ -67,17 +68,25 @@ pub fn default_lineup() -> Vec<PrefetcherKind> {
     ]
 }
 
-/// Evaluates `kinds` on `workloads` (in parallel per workload) and gathers
-/// each prefetcher's telemetry.
+/// Evaluates `kinds` on `workloads` — every (prefetcher × workload) cell in
+/// parallel on the sweep engine — and gathers each prefetcher's telemetry.
 pub fn run(scenario: &Scenario, kinds: &[PrefetcherKind], workloads: &[Workload]) -> RunReport {
-    let per_w: Vec<Vec<(crate::metrics::Evaluation, Snapshot)>> = per_workload(workloads, |w| {
-        let trace = scenario.trace(w);
-        let baseline = scenario.baseline_misses(&trace);
-        kinds
-            .iter()
-            .map(|k| scenario.evaluate_with_telemetry(k, w, &trace, baseline))
-            .collect()
-    });
+    run_threads(engine::threads(), scenario, kinds, workloads)
+}
+
+/// Like [`run`] with an explicit worker-pool size.
+///
+/// Rows and merged snapshots are assembled from the deterministic grid in
+/// Table 5 × line-up order, so the report's content does not depend on the
+/// pool size or scheduling order (wall-clock timer durations excepted; see
+/// [`RunReport::canonical`]).
+pub fn run_threads(
+    pool: usize,
+    scenario: &Scenario,
+    kinds: &[PrefetcherKind],
+    workloads: &[Workload],
+) -> RunReport {
+    let per_w = engine::run_grid_threads(pool, scenario, kinds, workloads);
 
     let mut rows = Vec::new();
     let mut merged: Vec<(String, Snapshot)> = kinds
@@ -92,7 +101,7 @@ pub fn run(scenario: &Scenario, kinds: &[PrefetcherKind], workloads: &[Workload]
                 ipc: eval.ipc(),
                 accuracy: eval.accuracy(),
                 coverage: eval.coverage(),
-                requested: eval.issued(),
+                requested: eval.requested(),
                 sim_issued: eval.report.prefetches_issued,
                 telemetry_issued: snap.counter("sim.prefetch.issued"),
             });
@@ -110,6 +119,23 @@ pub fn run(scenario: &Scenario, kinds: &[PrefetcherKind], workloads: &[Workload]
 }
 
 impl RunReport {
+    /// Returns a copy with every wall-clock timer duration zeroed (span
+    /// counts are kept — they are deterministic).
+    ///
+    /// Everything else in a report is bit-deterministic for a given
+    /// `(loads, seed, line-up, workloads)`, so two canonical reports are
+    /// byte-identical regardless of `--threads` or host speed; the
+    /// determinism suite compares them with [`RunReport::to_json`].
+    pub fn canonical(&self) -> RunReport {
+        let mut rep = self.clone();
+        for (_, snap) in &mut rep.per_prefetcher {
+            for timer in snap.timers.values_mut() {
+                timer.total_ns = 0;
+            }
+        }
+        rep
+    }
+
     /// Renders the report as a self-contained JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);

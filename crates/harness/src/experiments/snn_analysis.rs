@@ -26,7 +26,7 @@ pub struct Tab1Row {
 /// after 32 ticks.
 pub fn tab1(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab1Row>, String) {
     let rows = per_workload(workloads, |w| {
-        let trace = scenario.trace(w);
+        let trace = scenario.shared_trace(w);
         let mut pf = PathfinderPrefetcher::new(PathfinderConfig {
             readout: Readout::FullInterval,
             ..PathfinderConfig::default()

@@ -5,8 +5,9 @@
 use pathfinder_core::{PathfinderConfig, Readout, StdpDutyCycle, Variant};
 use pathfinder_traces::Workload;
 
+use crate::engine::run_grid;
 use crate::metrics::Evaluation;
-use crate::runner::{per_workload, PrefetcherKind, Scenario};
+use crate::runner::{PrefetcherKind, Scenario};
 use crate::table::{f3, pct, TextTable};
 
 /// One sweep cell: a configuration label and its per-workload evaluations.
@@ -35,31 +36,26 @@ impl SweepPoint {
     }
 }
 
-/// Sweeps PATHFINDER configurations over workloads, reusing traces and
-/// baselines across configurations.
+/// Sweeps PATHFINDER configurations over workloads: every
+/// (configuration × workload) cell runs independently on the sweep
+/// engine's pool, sharing each workload's memoized trace and baseline.
 pub fn sweep(
     scenario: &Scenario,
     workloads: &[Workload],
     configs: &[(String, PathfinderConfig)],
 ) -> Vec<SweepPoint> {
-    // One pass per workload (parallel), evaluating every config on the same
-    // trace/baseline; then transpose into per-config sweep points.
-    let per_w: Vec<Vec<Evaluation>> = per_workload(workloads, |w| {
-        let trace = scenario.trace(w);
-        let baseline = scenario.baseline_misses(&trace);
-        configs
-            .iter()
-            .map(|(_, cfg)| {
-                scenario.evaluate(&PrefetcherKind::Pathfinder(*cfg), w, &trace, baseline)
-            })
-            .collect()
-    });
+    let kinds: Vec<PrefetcherKind> = configs
+        .iter()
+        .map(|(_, cfg)| PrefetcherKind::Pathfinder(*cfg))
+        .collect();
+    let grid = run_grid(scenario, &kinds, workloads);
+    // Transpose the workload-major grid into per-config sweep points.
     configs
         .iter()
         .enumerate()
         .map(|(ci, (label, _))| SweepPoint {
             label: label.clone(),
-            evals: per_w.iter().map(|ws| ws[ci].clone()).collect(),
+            evals: grid.iter().map(|ws| ws[ci].0.clone()).collect(),
         })
         .collect()
 }

@@ -43,7 +43,7 @@ pub struct Tab7Row {
 /// delta ranges — the coverage/cost tradeoff behind Figure 5.
 pub fn tab7(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab7Row>, String) {
     let rows = per_workload(workloads, |w| {
-        let trace = scenario.trace(w);
+        let trace = scenario.shared_trace(w);
         let mut within_31 = 0u64;
         let mut within_15 = 0u64;
         for pair in trace.accesses().windows(2) {
@@ -133,7 +133,7 @@ pub fn tab8_stats(trace: &Trace) -> (f64, f64, f64) {
 /// count with 2 labels suffices (§5).
 pub fn tab8(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab8Row>, String) {
     let rows = per_workload(workloads, |w| {
-        let trace = scenario.trace(w);
+        let trace = scenario.shared_trace(w);
         let (avg_deltas, avg_distinct, avg_top5) = tab8_stats(&trace);
         Tab8Row {
             workload: w,

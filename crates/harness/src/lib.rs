@@ -19,6 +19,12 @@
 //!   [`Scenario::evaluate_with_telemetry`] captures, rendered as JSON and
 //!   Markdown (`repro report`).
 //!
+//! All of them run on the [`engine`] module's sweep engine: experiments
+//! decompose into (prefetcher × workload) cells scheduled on a bounded
+//! worker pool (`repro --threads N`, default = available parallelism), and
+//! traces/no-prefetch baselines are generated once per process in the
+//! shared [`TraceStore`]. Results are bit-identical at any thread count.
+//!
 //! Telemetry is on by default here (the `telemetry` feature forwards
 //! `pathfinder-telemetry/enabled` through the whole dependency graph);
 //! build with `--no-default-features` to measure the instrumented hot
@@ -47,11 +53,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod table;
 
+pub use engine::TraceStore;
 pub use metrics::Evaluation;
 pub use runner::{PrefetcherKind, Scenario};
 pub use table::TextTable;

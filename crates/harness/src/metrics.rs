@@ -5,7 +5,7 @@ use pathfinder_traces::Workload;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of evaluating one prefetcher on one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// Prefetcher label.
     pub prefetcher: String,
@@ -34,9 +34,15 @@ impl Evaluation {
         self.report.coverage(self.baseline_misses)
     }
 
-    /// Prefetch requests submitted by the prefetcher (Table 6's "issued
+    /// Prefetch requests the prefetcher submitted, before the simulator's
+    /// residency/duplicate filtering and DRAM shedding (Table 6's "issued
     /// prefetches", which the paper caps at 2 per access).
-    pub fn issued(&self) -> u64 {
+    ///
+    /// Distinct from [`SimReport::prefetches_issued`] — the post-filter
+    /// count the `sim.prefetch.issued` telemetry counter tracks. This
+    /// accessor was named `issued()` before PR 2; it was renamed because it
+    /// never returned the issued count.
+    pub fn requested(&self) -> u64 {
         self.report.prefetches_requested
     }
 }
@@ -93,7 +99,38 @@ mod tests {
         assert!((e.ipc() - 2.0).abs() < 1e-12);
         assert!((e.accuracy() - 0.5).abs() < 1e-12);
         assert!((e.coverage() - 0.25).abs() < 1e-12);
-        assert_eq!(e.issued(), 10);
+        assert_eq!(e.requested(), 10);
+    }
+
+    /// `requested()` (prefetches submitted) and `SimReport::prefetches_issued`
+    /// (post-filter injections) are different quantities: on a schedule that
+    /// re-requests the same resident block, requested counts every submission
+    /// while the simulator issues only the first.
+    #[test]
+    fn requested_differs_from_issued_on_duplicate_schedule() {
+        use pathfinder_sim::{Block, MemoryAccess, PrefetchRequest, SimConfig, Simulator, Trace};
+
+        let trace: Trace = (0..10u64)
+            .map(|i| MemoryAccess::new(i * 4, 0x400, 0x10_0000 + i * 4096 * 7))
+            .collect();
+        let target = Block(999_999);
+        let schedule: Vec<PrefetchRequest> = trace
+            .iter()
+            .map(|a| PrefetchRequest::new(a.instr_id, target))
+            .collect();
+        let report = Simulator::new(SimConfig::default()).run(&trace, &schedule);
+        let e = Evaluation {
+            prefetcher: "dup".into(),
+            workload: Workload::Cc5,
+            report,
+            baseline_misses: 10,
+        };
+        assert_eq!(e.requested(), 10, "every submission counts as requested");
+        assert_eq!(
+            e.report.prefetches_issued, 1,
+            "the resident-block filter passes only the first"
+        );
+        assert!(e.requested() > e.report.prefetches_issued);
     }
 
     #[test]

@@ -6,12 +6,23 @@ use pathfinder_prefetch::{
     EnsemblePrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher, PythiaPrefetcher,
     SisbPrefetcher, SppPrefetcher, VoyagerConfig, VoyagerPrefetcher,
 };
+use std::sync::Arc;
+
 use pathfinder_sim::{SimConfig, Simulator, Trace};
 use pathfinder_telemetry as telemetry;
 use pathfinder_telemetry::Snapshot;
 use pathfinder_traces::Workload;
 
+use crate::engine::TraceStore;
 use crate::metrics::Evaluation;
+
+/// Whether `REPRO_TIMING` was set when first consulted (cached so the hot
+/// evaluation path reads the environment once per process, and so CI can
+/// exercise the timing eprintln deliberately).
+fn timing_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("REPRO_TIMING").is_some())
+}
 
 /// A reproducible experiment context: trace scale, seed, and simulator
 /// configuration.
@@ -46,15 +57,35 @@ impl Scenario {
     }
 
     /// Generates the workload's trace at this scenario's scale.
+    ///
+    /// Always generates afresh; experiments should prefer
+    /// [`Scenario::shared_trace`], which memoizes through the process-wide
+    /// [`TraceStore`].
     pub fn trace(&self, workload: Workload) -> Trace {
         let _span = telemetry::timer!("harness.trace_gen");
         workload.generate(self.loads, self.seed)
     }
 
+    /// The workload's trace from the process-wide [`TraceStore`]: generated
+    /// once per `(workload, loads, seed)` and shared across all experiments.
+    pub fn shared_trace(&self, workload: Workload) -> Arc<Trace> {
+        TraceStore::global().trace(self, workload)
+    }
+
     /// LLC load misses of a no-prefetch replay (coverage denominator).
+    ///
+    /// Always replays afresh; experiments should prefer
+    /// [`Scenario::shared_baseline`], which memoizes through the
+    /// process-wide [`TraceStore`].
     pub fn baseline_misses(&self, trace: &Trace) -> u64 {
         let _span = telemetry::timer!("harness.baseline");
         Simulator::new(self.sim).run(trace, &[]).llc_misses
+    }
+
+    /// The workload's no-prefetch baseline misses from the process-wide
+    /// [`TraceStore`], measured once per (trace derivation, sim config).
+    pub fn shared_baseline(&self, workload: Workload) -> u64 {
+        TraceStore::global().baseline_misses(self, workload)
     }
 
     /// Evaluates one prefetcher on one pre-generated trace.
@@ -94,7 +125,7 @@ impl Scenario {
                 "harness.replay",
                 Simulator::new(self.sim).run(trace, &schedule)
             );
-            if std::env::var_os("REPRO_TIMING").is_some() {
+            if timing_enabled() {
                 eprintln!(
                     "# timing {:>12} on {:<22} generate {:6.1}s replay {:5.1}s",
                     kind.label(),
@@ -113,11 +144,12 @@ impl Scenario {
         (eval, snapshot)
     }
 
-    /// Convenience: generate the trace, compute the baseline, and evaluate
-    /// several prefetchers on one workload.
+    /// Convenience: fetch the shared trace and baseline, then evaluate
+    /// several prefetchers on one workload (serially; for parallel grids use
+    /// [`crate::engine::run_grid`]).
     pub fn evaluate_all(&self, kinds: &[PrefetcherKind], workload: Workload) -> Vec<Evaluation> {
-        let trace = self.trace(workload);
-        let baseline = self.baseline_misses(&trace);
+        let trace = self.shared_trace(workload);
+        let baseline = self.shared_baseline(workload);
         kinds
             .iter()
             .map(|k| self.evaluate(k, workload, &trace, baseline))
@@ -263,24 +295,14 @@ impl PrefetcherKind {
     }
 }
 
-/// Runs `f` over all workloads in parallel and returns the results in
-/// Table 5 order.
+/// Runs `f` over all workloads on the sweep engine's bounded worker pool
+/// and returns the results in Table 5 order.
 pub fn per_workload<T, F>(workloads: &[Workload], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Workload) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = (0..workloads.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot, &w) in out.iter_mut().zip(workloads) {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(w));
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter().map(|t| t.expect("slot filled")).collect()
+    crate::engine::parallel_map(workloads, |&w| f(w))
 }
 
 #[cfg(test)]
@@ -296,8 +318,8 @@ mod tests {
         );
         assert_eq!(evals.len(), 2);
         assert_eq!(evals[0].prefetcher, "No Prefetch");
-        assert_eq!(evals[0].issued(), 0);
-        assert!(evals[1].issued() > 0);
+        assert_eq!(evals[0].requested(), 0);
+        assert!(evals[1].requested() > 0);
         // Next-line should help the stream-dominated sphinx workload (small
         // tolerance: at this tiny scale prefetch traffic also contends).
         assert!(

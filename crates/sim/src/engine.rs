@@ -66,8 +66,10 @@ impl Simulator {
     }
 
     /// Replays `trace` with the given prefetch schedule and returns the
-    /// report. Prefetches must be sorted by `trigger_instr_id` (schedules
-    /// produced by walking the trace in order always are).
+    /// report. Prefetches should be sorted by `trigger_instr_id` (schedules
+    /// produced by walking the trace in order always are); a misordered
+    /// schedule is detected in every build profile, logged, and sorted
+    /// before replay rather than silently skipping requests.
     ///
     /// A warm-up fraction of the trace can be replayed first via
     /// [`Simulator::run_with_warmup`].
@@ -78,7 +80,9 @@ impl Simulator {
 
     /// Replays `trace`, treating the first `warmup_loads` loads as cache
     /// warm-up: they update cache/DRAM state but are excluded from the
-    /// reported counters and cycle count.
+    /// reported counters and cycle count. A `warmup_loads` of `trace.len()`
+    /// or more leaves an empty measured window (all counters and the cycle
+    /// count report zero).
     pub fn run_with_warmup(
         mut self,
         trace: &Trace,
@@ -106,10 +110,35 @@ impl Simulator {
     }
 
     fn run_inner(&mut self, trace: &Trace, prefetches: &[PrefetchRequest], warmup_loads: usize) {
-        debug_assert!(
-            prefetches.windows(2).all(|w| w[0].trigger_instr_id <= w[1].trigger_instr_id),
-            "prefetch schedule must be sorted by trigger instruction"
-        );
+        // The replay cursor silently skips prefetches whose trigger has
+        // already passed, so a misordered schedule must never reach it.
+        // Validate in every build profile (the check is O(n), the replay is
+        // not) and recover by sorting a copy rather than dropping requests.
+        let sorted_copy: Vec<PrefetchRequest>;
+        let prefetches = if prefetches
+            .windows(2)
+            .all(|w| w[0].trigger_instr_id <= w[1].trigger_instr_id)
+        {
+            prefetches
+        } else {
+            telemetry::counter!("sim.schedule.unsorted", 1);
+            eprintln!(
+                "warning: prefetch schedule of {} requests is not sorted by \
+                 trigger_instr_id; sorting before replay (schedules built by \
+                 walking the trace in order are always sorted)",
+                prefetches.len()
+            );
+            sorted_copy = {
+                let mut v = prefetches.to_vec();
+                v.sort_by_key(|p| p.trigger_instr_id);
+                v
+            };
+            &sorted_copy
+        };
+        // A warmup window longer than the trace means "everything is
+        // warm-up": clamp so the measured window is empty instead of
+        // silently reporting full-run cycles for zero measured loads.
+        let warmup_loads = warmup_loads.min(trace.len());
         let _replay_span = telemetry::timer!("sim.replay");
         let mut pf_cursor = 0usize;
         let mut measured_start_cycle = 0u64;
@@ -148,6 +177,12 @@ impl Simulator {
 
         let total_instr = trace.total_instructions();
         let end_cycle = self.rob.finish(total_instr);
+        if warmup_loads == trace.len() {
+            // The entire trace was warm-up: no load set the measured-window
+            // start, so report an empty window, not the full run.
+            measured_start_instr = total_instr;
+            measured_start_cycle = end_cycle;
+        }
         self.report.instructions = total_instr.saturating_sub(measured_start_instr);
         self.report.cycles = end_cycle.saturating_sub(measured_start_cycle);
         self.report.prefetches_useless = self.llc.stats().useless_evictions;
@@ -374,6 +409,45 @@ mod tests {
             Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], 50);
         assert_eq!(report.loads, 50);
         assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn warmup_covering_whole_trace_measures_nothing() {
+        let trace = miss_trace(100);
+        // Boundary (warmup == len) and beyond (warmup > len): both leave an
+        // empty measured window instead of claiming full-run cycles and
+        // instructions for zero measured loads.
+        for warmup in [100usize, 101, 10_000] {
+            let report =
+                Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], warmup);
+            assert_eq!(report.loads, 0, "warmup={warmup}");
+            assert_eq!(report.instructions, 0, "warmup={warmup}");
+            assert_eq!(report.cycles, 0, "warmup={warmup}");
+            assert_eq!(report.ipc(), 0.0, "warmup={warmup}");
+        }
+        // One load short of the boundary still measures the last load.
+        let report = Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], 99);
+        assert_eq!(report.loads, 1);
+        assert!(report.cycles > 0);
+        assert!(report.instructions > 0);
+    }
+
+    #[test]
+    fn misordered_schedule_is_sorted_not_skipped() {
+        let trace = miss_trace(2000);
+        let accesses = trace.accesses();
+        let sorted: Vec<PrefetchRequest> = accesses
+            .windows(2)
+            .map(|w| PrefetchRequest::new(w[0].instr_id, w[1].block()))
+            .collect();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        let a = Simulator::new(SimConfig::default()).run(&trace, &sorted);
+        let b = Simulator::new(SimConfig::default()).run(&trace, &shuffled);
+        // Release builds used to skip almost every prefetch of the reversed
+        // schedule via the cursor; now both replays are identical.
+        assert_eq!(a, b);
+        assert!(b.prefetches_useful > 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() -> Result<(), String> {
     let base_ipc = evals[0].ipc();
     println!(
         "{:<12} {:>7} {:>9} {:>9} {:>9} {:>10}",
-        "prefetcher", "IPC", "speedup", "accuracy", "coverage", "issued"
+        "prefetcher", "IPC", "speedup", "accuracy", "coverage", "requested"
     );
     for e in &evals {
         println!(
@@ -38,7 +38,7 @@ fn main() -> Result<(), String> {
             (e.ipc() / base_ipc - 1.0) * 100.0,
             e.accuracy() * 100.0,
             e.coverage() * 100.0,
-            e.issued()
+            e.requested()
         );
     }
 

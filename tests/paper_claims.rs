@@ -29,7 +29,7 @@ fn spp_is_most_accurate_but_low_coverage() {
         acc[1],
         acc[2]
     );
-    let issued: Vec<u64> = evals.iter().map(|e| e.issued()).collect();
+    let issued: Vec<u64> = evals.iter().map(|e| e.requested()).collect();
     assert!(
         issued[1] < issued[2],
         "SPP should issue fewer than Pythia (Table 6): {} vs {}",

@@ -86,7 +86,7 @@ fn scenario_metrics_are_internally_consistent() {
         Workload::Nutch,
     );
     let (none, spp) = (&evals[0], &evals[1]);
-    assert_eq!(none.issued(), 0);
+    assert_eq!(none.requested(), 0);
     assert_eq!(none.accuracy(), 0.0);
     assert!(spp.report.prefetches_issued <= spp.report.prefetches_requested);
     assert!(spp.report.prefetches_useful <= spp.report.prefetches_issued);

@@ -1,0 +1,96 @@
+//! The sweep engine must be bit-deterministic: a cell's result depends only
+//! on its own `(seed, workload, prefetcher)` derivation, never on which
+//! worker ran it or in what order, so `--threads 1` and `--threads 8`
+//! produce identical evaluations, merged snapshots, and (canonical) report
+//! JSON. See ROADMAP's seed-robustness note: assertions here compare runs
+//! against each other, not against hard-coded learned outcomes.
+
+use pathfinder_suite::harness::engine::{self, run_grid_threads};
+use pathfinder_suite::harness::experiments::report;
+use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
+use pathfinder_suite::telemetry::Snapshot;
+use pathfinder_suite::traces::Workload;
+
+fn small_lineup() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::NoPrefetch,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Pathfinder(Default::default()),
+    ]
+}
+
+/// Zeroes wall-clock timer durations (span counts stay — they are
+/// deterministic) so snapshots from different runs can be compared exactly.
+fn canonical(snap: &Snapshot) -> Snapshot {
+    let mut c = snap.clone();
+    for timer in c.timers.values_mut() {
+        timer.total_ns = 0;
+    }
+    c
+}
+
+#[test]
+fn grid_is_identical_at_threads_1_and_8() {
+    let sc = Scenario::with_loads(4_000);
+    let kinds = small_lineup();
+    let workloads = [Workload::Sphinx, Workload::Cc5, Workload::Mcf];
+
+    let serial = run_grid_threads(1, &sc, &kinds, &workloads);
+    let parallel = run_grid_threads(8, &sc, &kinds, &workloads);
+
+    assert_eq!(serial.len(), workloads.len());
+    for (row_s, row_p) in serial.iter().zip(&parallel) {
+        assert_eq!(row_s.len(), kinds.len());
+        for ((eval_s, snap_s), (eval_p, snap_p)) in row_s.iter().zip(row_p) {
+            assert_eq!(
+                eval_s, eval_p,
+                "evaluation differs between thread counts: {} on {}",
+                eval_s.prefetcher,
+                eval_s.workload.trace_name()
+            );
+            assert_eq!(
+                canonical(snap_s),
+                canonical(snap_p),
+                "telemetry snapshot differs between thread counts: {} on {}",
+                eval_s.prefetcher,
+                eval_s.workload.trace_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_report_json_is_byte_identical_across_thread_counts() {
+    let sc = Scenario::with_loads(3_000);
+    let kinds = [PrefetcherKind::NoPrefetch, PrefetcherKind::NextLine];
+    let workloads = [Workload::Sphinx, Workload::Nutch];
+
+    let a = report::run_threads(1, &sc, &kinds, &workloads);
+    let b = report::run_threads(8, &sc, &kinds, &workloads);
+
+    assert_eq!(a.canonical().to_json(), b.canonical().to_json());
+    assert_eq!(a.canonical().to_markdown(), b.canonical().to_markdown());
+    // The canonical form only touches timer durations: row-level results
+    // are bit-identical even without canonicalization.
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.workload, rb.workload);
+        assert_eq!(ra.prefetcher, rb.prefetcher);
+        assert_eq!(ra.ipc.to_bits(), rb.ipc.to_bits());
+        assert_eq!(ra.requested, rb.requested);
+        assert_eq!(ra.sim_issued, rb.sim_issued);
+        assert_eq!(ra.telemetry_issued, rb.telemetry_issued);
+    }
+}
+
+#[test]
+fn parallel_map_is_order_preserving_and_bounded() {
+    // The pool must preserve input order regardless of scheduling, and a
+    // degenerate pool of 1 must equal any larger pool.
+    let items: Vec<u64> = (0..64).collect();
+    let f = |&i: &u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    let one = engine::parallel_map_threads(1, &items, f);
+    for pool in [2, 8, 32] {
+        assert_eq!(engine::parallel_map_threads(pool, &items, f), one);
+    }
+}

@@ -16,7 +16,9 @@ fn ipc_of(cfg: PathfinderConfig, workload: Workload) -> f64 {
     let trace = workload.generate(BENCH_LOADS, BENCH_SEED);
     let mut pf = PathfinderPrefetcher::new(cfg).expect("valid config");
     let schedule = generate_prefetches(&mut pf, &trace, 2);
-    Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+    Simulator::new(SimConfig::default())
+        .run(&trace, &schedule)
+        .ipc()
 }
 
 /// Enlarged-pixel encoding on/off (§3.4's sparsity fix).
@@ -103,8 +105,10 @@ fn ablate_initial_access(c: &mut Criterion) {
 fn ablate_readout(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_readout");
     group.sample_size(10);
-    for (name, readout) in [("full_interval", Readout::FullInterval), ("one_tick", Readout::OneTick)]
-    {
+    for (name, readout) in [
+        ("full_interval", Readout::FullInterval),
+        ("one_tick", Readout::OneTick),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 ipc_of(
@@ -134,7 +138,9 @@ fn ablate_ensemble_priority(c: &mut Criterion) {
                 .with(NextLinePrefetcher::new())
                 .with(SisbPrefetcher::new(2));
             let schedule = generate_prefetches(&mut e, &trace, 2);
-            Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+            Simulator::new(SimConfig::default())
+                .run(&trace, &schedule)
+                .ipc()
         })
     });
     group.bench_function("sisb_first", |b| {
@@ -145,7 +151,9 @@ fn ablate_ensemble_priority(c: &mut Criterion) {
                 .with(pf)
                 .with(NextLinePrefetcher::new());
             let schedule = generate_prefetches(&mut e, &trace, 2);
-            Simulator::new(SimConfig::default()).run(&trace, &schedule).ipc()
+            Simulator::new(SimConfig::default())
+                .run(&trace, &schedule)
+                .ipc()
         })
     });
     group.finish();

@@ -100,6 +100,12 @@ fn snn_present(c: &mut Criterion) {
         let mut net = DiehlCookNetwork::new(cfg.snn_config(), BENCH_SEED).unwrap();
         b.iter(|| net.present(&rates, false))
     });
+    // The retained pre-rewrite kernel (`pathfinder_snn::reference`): the
+    // "before" measurement the event-driven hot path is judged against.
+    group.bench_function("reference_32_tick", |b| {
+        let mut net = DiehlCookNetwork::new(cfg.snn_config(), BENCH_SEED).unwrap();
+        b.iter(|| net.present_reference(&rates, true))
+    });
     group.finish();
 }
 

@@ -83,7 +83,10 @@ fn fig7_one_tick(c: &mut Criterion) {
     let baseline = sc.baseline_misses(&trace);
     let mut group = c.benchmark_group("fig7_one_tick");
     group.sample_size(10);
-    for (name, readout) in [("ticks_32", Readout::FullInterval), ("tick_1", Readout::OneTick)] {
+    for (name, readout) in [
+        ("ticks_32", Readout::FullInterval),
+        ("tick_1", Readout::OneTick),
+    ] {
         let kind = PrefetcherKind::Pathfinder(PathfinderConfig {
             readout,
             ..PathfinderConfig::default()

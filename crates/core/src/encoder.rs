@@ -252,7 +252,10 @@ mod tests {
         assert!(on[0] < 127, "offset goes in row 0: {on:?}");
         // {0, 0, D1}: delta in the last row.
         let on = active(&one_delta);
-        assert!(*on.last().unwrap() >= 2 * 127, "delta goes in row 2: {on:?}");
+        assert!(
+            *on.last().unwrap() >= 2 * 127,
+            "delta goes in row 2: {on:?}"
+        );
     }
 
     #[test]

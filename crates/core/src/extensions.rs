@@ -154,7 +154,7 @@ mod tests {
             }
         }
         assert_eq!(xp.learned_transitions(), 3); // 1->2, 2->3, 3->1 (wrap)
-        // Entering page 1 again predicts page 2's and page 3's entry blocks.
+                                                 // Entering page 1 again predicts page 2's and page 3's entry blocks.
         let out = xp.on_access(&access(id, 7, 1, 5));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], Page(2).block_at(6));

@@ -160,7 +160,10 @@ impl Prefetcher for PathfinderPrefetcher {
     fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
         self.stats.accesses += 1;
         telemetry::counter!("pf.accesses", 1);
-        let learn = self.config.stdp_duty.learning_enabled(self.stats.accesses - 1);
+        let learn = self
+            .config
+            .stdp_duty
+            .learning_enabled(self.stats.accesses - 1);
         let pc = access.pc.raw();
         let block = access.block();
         let page = block.page();
@@ -421,7 +424,11 @@ mod tests {
         let mut accesses = Vec::new();
         let mut id = 0u64;
         for page in 0..300u64 {
-            let deltas: &[u64] = if page % 2 == 0 { &[2, 2, 2, 2] } else { &[2, 2, 2, 9] };
+            let deltas: &[u64] = if page % 2 == 0 {
+                &[2, 2, 2, 2]
+            } else {
+                &[2, 2, 2, 9]
+            };
             let mut off = 0u64;
             accesses.push(MemoryAccess::new(id, 0x400, page * 4096));
             id += 1;

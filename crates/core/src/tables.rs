@@ -299,7 +299,13 @@ mod tests {
         let mut it = InferenceTable::new(50, 2);
         assert_eq!(it.assign(17, 6), Some(0));
         assert!(it.has_label(17, 6));
-        assert_eq!(it.labels(17)[0].1, Label { delta: 6, confidence: 1 });
+        assert_eq!(
+            it.labels(17)[0].1,
+            Label {
+                delta: 6,
+                confidence: 1
+            }
+        );
         // Second label in the 2-label configuration (§3.4's example:
         // neuron 17 carries labels 6 and 12).
         assert_eq!(it.assign(17, 12), Some(1));

@@ -4,7 +4,7 @@
 //! repro <experiment> [--loads N] [--seed S] [--threads T]
 //!
 //! experiments:
-//!   all    every experiment below, in order
+//!   all    every experiment below, in order (except bench)
 //!   fig4   prefetcher shootout: IPC/accuracy/coverage (+ Table 6)
 //!   fig5   delta-range sweep
 //!   fig6   neuron-count sweep (1-label vs 2-label)
@@ -20,6 +20,12 @@
 //!   ext    beyond-the-paper: dynamic ensembles and cold-page prediction
 //!   report structured run report with telemetry (also writes run_report.json
 //!          and run_report.md next to the working directory)
+//!   bench  perf micro-suite: SNN presentation kernels, encoding,
+//!          per-prefetcher per-access cost, one end-to-end report cell.
+//!          Writes BENCH_pr3.json (override with --bench-out). With
+//!          --baseline <json> the run becomes a gate: exits nonzero when
+//!          any suite's median regressed more than --threshold percent
+//!          (default 40) versus the baseline document.
 //! ```
 //!
 //! `--threads T` bounds the sweep engine's worker pool (default: available
@@ -29,7 +35,9 @@
 
 use std::process::ExitCode;
 
-use crate::experiments::{extensions, fig4, hardware, report, snn_analysis, sweeps, trace_stats};
+use crate::experiments::{
+    bench, extensions, fig4, hardware, report, snn_analysis, sweeps, trace_stats,
+};
 use crate::runner::Scenario;
 use pathfinder_traces::Workload;
 
@@ -40,6 +48,9 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     workloads: Vec<Workload>,
+    baseline: Option<String>,
+    threshold: f64,
+    bench_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut threads: Option<usize> = None;
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let mut baseline: Option<String> = None;
+    let mut threshold = 40.0f64;
+    let mut bench_out = String::from("BENCH_pr3.json");
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -101,6 +115,25 @@ fn parse_args() -> Result<Args, String> {
                     workloads.push(w);
                 }
             }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(argv.get(i).ok_or("--baseline needs a path")?.clone());
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = argv
+                    .get(i)
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if threshold.is_nan() || threshold < 0.0 {
+                    return Err("--threshold must be non-negative".to_string());
+                }
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = argv.get(i).ok_or("--bench-out needs a path")?.clone();
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -124,6 +157,9 @@ fn parse_args() -> Result<Args, String> {
         seed,
         threads,
         workloads,
+        baseline,
+        threshold,
+        bench_out,
     })
 }
 
@@ -136,8 +172,9 @@ pub fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report] \
-                 [--loads N] [--sweep-loads N] [--seed S] [--threads T] [--workload NAME]..."
+                "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report|bench] \
+                 [--loads N] [--sweep-loads N] [--seed S] [--threads T] [--workload NAME]... \
+                 [--baseline JSON] [--threshold PCT] [--bench-out PATH]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -149,6 +186,12 @@ pub fn main() -> ExitCode {
 
     if let Some(n) = args.threads {
         crate::engine::set_threads(n);
+    }
+
+    // `bench` controls its own exit code (the baseline gate), isn't part of
+    // `all`, and interprets --loads as the per-access/e2e trace scale.
+    if args.experiment == "bench" {
+        return run_bench(&args);
     }
 
     let scenario = Scenario {
@@ -209,8 +252,8 @@ pub fn main() -> ExitCode {
 
     let experiments: Vec<&str> = if args.experiment == "all" {
         vec![
-            "tab5", "tab7", "tab8", "tab9", "tab2", "tab1", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9", "ext", "report",
+            "tab5", "tab7", "tab8", "tab9", "tab2", "tab1", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "ext", "report",
         ]
     } else {
         vec![args.experiment.as_str()]
@@ -228,4 +271,66 @@ pub fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the perf micro-suite, writes the bench document, and (when
+/// `--baseline` was given) gates on per-suite median regressions.
+fn run_bench(args: &Args) -> ExitCode {
+    let t0 = std::time::Instant::now();
+    let opts = bench::BenchOpts {
+        loads: args.loads,
+        seed: args.seed,
+    };
+    eprintln!("# bench: loads={} seed={}", opts.loads, opts.seed);
+    let report = bench::run(&opts);
+    println!("{}", report.render_text());
+
+    match std::fs::write(&args.bench_out, report.to_json()) {
+        Ok(()) => eprintln!("# bench: wrote {}", args.bench_out),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", args.bench_out);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut verdict = ExitCode::SUCCESS;
+    if let Some(path) = &args.baseline {
+        let baseline_json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let deltas = match bench::compare_to_baseline(&report, &baseline_json, args.threshold) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", bench::render_deltas(&deltas, args.threshold));
+        let regressed: Vec<&str> = deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        if regressed.is_empty() {
+            eprintln!(
+                "# bench: gate passed ({} suites within +{:.0}% of {path})",
+                deltas.len(),
+                args.threshold
+            );
+        } else {
+            eprintln!(
+                "error: {} suite(s) regressed more than {:.0}% vs {path}: {}",
+                regressed.len(),
+                args.threshold,
+                regressed.join(", ")
+            );
+            verdict = ExitCode::FAILURE;
+        }
+    }
+    eprintln!("# bench finished in {:.1}s", t0.elapsed().as_secs_f64());
+    verdict
 }

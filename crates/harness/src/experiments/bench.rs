@@ -1,0 +1,444 @@
+//! `repro bench` — the perf-gate micro-suite.
+//!
+//! Runs a fixed set of microbenchmarks over the hot paths the ROADMAP
+//! cares about (SNN presentation 32-tick event-driven vs the retained
+//! reference kernel, the 1-tick readout, pixel encoding, per-prefetcher
+//! per-access cost, and one end-to-end report cell), then emits the
+//! results as `BENCH_pr3.json`: suite → median ns/op + throughput, plus a
+//! telemetry snapshot of the end-to-end cell.
+//!
+//! With `--baseline <json>` the run becomes a *gate*: each suite's median
+//! is compared against the checked-in baseline (`benches/baseline.json`)
+//! and the process exits nonzero when any suite regressed by more than the
+//! `--threshold` percentage. CI's `perf-smoke` job runs exactly this (see
+//! `.github/workflows/ci.yml` and EXPERIMENTS.md § "Benchmark gate").
+//!
+//! This is deliberately *not* Criterion: the vendored Criterion stub under
+//! `vendor/` drives the `cargo bench` suites for local exploration, while
+//! this module produces a small, stable, machine-readable document the CI
+//! gate and the perf trajectory in git history consume.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder};
+use pathfinder_prefetch::generate_prefetches;
+use pathfinder_snn::DiehlCookNetwork;
+use pathfinder_telemetry::{json, Snapshot};
+use pathfinder_traces::Workload;
+
+use crate::runner::{PrefetcherKind, Scenario};
+use crate::table::TextTable;
+
+/// Schema tag written into every bench document.
+pub const SCHEMA: &str = "pathfinder-bench/1";
+
+/// Scale parameters for one bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Loads per trace for the per-access and end-to-end suites.
+    pub loads: usize,
+    /// Master seed (traces and SNN weights).
+    pub seed: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            loads: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Stable suite name (the baseline-matching key).
+    pub name: &'static str,
+    /// Median ns per operation across samples.
+    pub median_ns: f64,
+    /// Mean ns per operation across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns per operation.
+    pub min_ns: f64,
+    /// Operations per second at the median.
+    pub ops_per_sec: f64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Operations per timed sample.
+    pub ops_per_sample: u64,
+}
+
+/// A full bench run: every suite plus derived figures and telemetry.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale parameters used.
+    pub opts: BenchOpts,
+    /// All suite results, in execution order.
+    pub suites: Vec<SuiteResult>,
+    /// Median-speedup of the event-driven 32-tick kernel over the retained
+    /// reference kernel (the PR-3 acceptance figure).
+    pub present32_speedup: f64,
+    /// Telemetry snapshot of one end-to-end report cell (empty when the
+    /// harness is built without the `telemetry` feature).
+    pub telemetry: Snapshot,
+}
+
+/// Times `f`, which performs `ops` operations per call, over `samples`
+/// timed samples (after one warmup call used for calibration) and returns
+/// per-operation statistics. Each sample may batch multiple calls of `f`
+/// so that it lasts long enough for the clock to resolve.
+fn measure<F: FnMut()>(name: &'static str, samples: usize, ops: u64, mut f: F) -> SuiteResult {
+    // Calibrate: make each timed sample last ~2 ms (or one call, whichever
+    // is longer) so short operations aren't dominated by clock granularity.
+    let t0 = Instant::now();
+    f();
+    let once_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    const TARGET_SAMPLE_NS: u64 = 2_000_000;
+    let calls_per_sample = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000);
+
+    let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..calls_per_sample {
+            f();
+        }
+        let ns = t.elapsed().as_nanos() as f64;
+        per_op.push(ns / (calls_per_sample * ops) as f64);
+    }
+    per_op.sort_by(f64::total_cmp);
+    let median_ns = per_op[per_op.len() / 2];
+    let mean_ns = per_op.iter().sum::<f64>() / per_op.len() as f64;
+    SuiteResult {
+        name,
+        median_ns,
+        mean_ns,
+        min_ns: per_op[0],
+        ops_per_sec: if median_ns > 0.0 {
+            1e9 / median_ns
+        } else {
+            0.0
+        },
+        samples,
+        ops_per_sample: calls_per_sample * ops,
+    }
+}
+
+/// Runs the full micro-suite at the given scale.
+pub fn run(opts: &BenchOpts) -> BenchReport {
+    let mut suites = Vec::new();
+
+    // --- SNN presentation: the paper's central cost tradeoff. -----------
+    let cfg = PathfinderConfig::default();
+    let encoder = PixelMatrixEncoder::new(&cfg);
+    let rates = encoder.encode(&[1, 2, 3]);
+
+    let mut event_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    suites.push(measure("snn.present32.event", 25, 1, || {
+        black_box(event_net.present(black_box(&rates), true));
+    }));
+
+    let mut ref_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    suites.push(measure("snn.present32.reference", 25, 1, || {
+        black_box(ref_net.present_reference(black_box(&rates), true));
+    }));
+
+    let mut one_tick_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    suites.push(measure("snn.present1.event", 25, 1, || {
+        black_box(one_tick_net.present_one_tick(black_box(&rates), true));
+    }));
+
+    suites.push(measure("encode.pixel_matrix", 25, 1, || {
+        black_box(encoder.encode(black_box(&[1, 2, 3])));
+    }));
+
+    // --- Per-prefetcher per-access generation cost. ----------------------
+    // Each sample rebuilds the prefetcher and replays the whole trace, so
+    // state never accumulates across samples; cost is reported per access.
+    let scenario = Scenario {
+        loads: opts.loads,
+        seed: opts.seed,
+        ..Scenario::default()
+    };
+    let micro_trace = scenario.shared_trace(Workload::Mcf);
+    let per_access: &[(&'static str, PrefetcherKind)] = &[
+        ("prefetcher.nextline", PrefetcherKind::NextLine),
+        ("prefetcher.best_offset", PrefetcherKind::BestOffset),
+        ("prefetcher.spp", PrefetcherKind::Spp),
+        ("prefetcher.sisb", PrefetcherKind::Sisb),
+        ("prefetcher.pythia", PrefetcherKind::Pythia),
+        (
+            "prefetcher.pathfinder",
+            PrefetcherKind::Pathfinder(PathfinderConfig::default()),
+        ),
+    ];
+    for (name, kind) in per_access {
+        suites.push(measure(name, 11, micro_trace.len() as u64, || {
+            let mut p = kind.build(opts.seed);
+            black_box(generate_prefetches(p.as_mut(), black_box(&micro_trace), 2));
+        }));
+    }
+
+    // --- End-to-end report cell (generate + replay + metrics), with the
+    // --- telemetry the cell recorded attached to the document. -----------
+    let e2e_trace = scenario.shared_trace(Workload::Sphinx);
+    let e2e_baseline = scenario.shared_baseline(Workload::Sphinx);
+    let (_, telemetry) = scenario.evaluate_with_telemetry(
+        &PrefetcherKind::NextLine,
+        Workload::Sphinx,
+        &e2e_trace,
+        e2e_baseline,
+    );
+    suites.push(measure("e2e.report_cell", 5, 1, || {
+        black_box(scenario.evaluate(
+            &PrefetcherKind::NextLine,
+            Workload::Sphinx,
+            black_box(&e2e_trace),
+            e2e_baseline,
+        ));
+    }));
+
+    let median = |n: &str| {
+        suites
+            .iter()
+            .find(|s| s.name == n)
+            .map(|s| s.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let present32_speedup = median("snn.present32.reference") / median("snn.present32.event");
+
+    BenchReport {
+        opts: *opts,
+        suites,
+        present32_speedup,
+        telemetry,
+    }
+}
+
+impl BenchReport {
+    /// Renders the machine-readable JSON document (`BENCH_pr3.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"schema\":");
+        json::write_string(&mut out, SCHEMA);
+        out.push_str(",\"loads\":");
+        out.push_str(&self.opts.loads.to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.opts.seed.to_string());
+        out.push_str(",\"suites\":{");
+        for (i, s) in self.suites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, s.name);
+            out.push_str(":{\"median_ns\":");
+            json::write_f64(&mut out, s.median_ns);
+            out.push_str(",\"mean_ns\":");
+            json::write_f64(&mut out, s.mean_ns);
+            out.push_str(",\"min_ns\":");
+            json::write_f64(&mut out, s.min_ns);
+            out.push_str(",\"ops_per_sec\":");
+            json::write_f64(&mut out, s.ops_per_sec);
+            out.push_str(",\"samples\":");
+            out.push_str(&s.samples.to_string());
+            out.push_str(",\"ops_per_sample\":");
+            out.push_str(&s.ops_per_sample.to_string());
+            out.push('}');
+        }
+        out.push_str("},\"derived\":{\"snn_present32_event_vs_reference_speedup\":");
+        json::write_f64(&mut out, self.present32_speedup);
+        out.push_str("},\"telemetry\":");
+        self.telemetry.write_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Renders the human-facing stdout table.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(
+            "Benchmark micro-suite (median per op)",
+            &["suite", "median", "min", "ops/s"],
+        );
+        for s in &self.suites {
+            t.row(vec![
+                s.name.to_string(),
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                format!("{:.0}", s.ops_per_sec),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nSNN 32-tick presentation: event-driven kernel is {:.2}x the reference kernel\n",
+            self.present32_speedup
+        ));
+        out
+    }
+}
+
+/// Formats a nanosecond figure with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// One suite's comparison against the baseline document.
+#[derive(Debug, Clone)]
+pub struct BaselineDelta {
+    /// Suite name.
+    pub name: String,
+    /// Baseline median ns/op.
+    pub baseline_ns: f64,
+    /// This run's median ns/op.
+    pub current_ns: f64,
+    /// `current / baseline` (> 1 is slower).
+    pub ratio: f64,
+    /// Whether the slowdown exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Compares `report` against a baseline JSON document (produced by an
+/// earlier [`BenchReport::to_json`]). A suite regresses when its median
+/// exceeds the baseline median by more than `threshold_pct` percent.
+/// Suites missing on either side are skipped (the gate only compares what
+/// both runs measured).
+///
+/// # Errors
+///
+/// Returns a message when the baseline document cannot be parsed or has no
+/// `suites` object.
+pub fn compare_to_baseline(
+    report: &BenchReport,
+    baseline_json: &str,
+    threshold_pct: f64,
+) -> Result<Vec<BaselineDelta>, String> {
+    let doc = json::parse(baseline_json).map_err(|e| format!("baseline JSON: {e}"))?;
+    let suites = doc
+        .get("suites")
+        .and_then(json::Value::as_object)
+        .ok_or("baseline JSON has no \"suites\" object")?;
+    let mut deltas = Vec::new();
+    for s in &report.suites {
+        let Some(baseline_ns) = suites
+            .get(s.name)
+            .and_then(|v| v.get("median_ns"))
+            .and_then(json::Value::as_f64)
+        else {
+            continue;
+        };
+        if !baseline_ns.is_finite() || baseline_ns <= 0.0 || !s.median_ns.is_finite() {
+            continue;
+        }
+        let ratio = s.median_ns / baseline_ns;
+        deltas.push(BaselineDelta {
+            name: s.name.to_string(),
+            baseline_ns,
+            current_ns: s.median_ns,
+            ratio,
+            regressed: ratio > 1.0 + threshold_pct / 100.0,
+        });
+    }
+    Ok(deltas)
+}
+
+/// Renders the gate verdict table for [`compare_to_baseline`] output.
+pub fn render_deltas(deltas: &[BaselineDelta], threshold_pct: f64) -> String {
+    let mut t = TextTable::new(
+        format!("Baseline gate (threshold +{threshold_pct:.0}%)"),
+        &["suite", "baseline", "current", "ratio", "verdict"],
+    );
+    for d in deltas {
+        t.row(vec![
+            d.name.clone(),
+            fmt_ns(d.baseline_ns),
+            fmt_ns(d.current_ns),
+            format!("{:.2}x", d.ratio),
+            if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        // A real (tiny) run so the JSON document reflects actual fields.
+        run(&BenchOpts {
+            loads: 600,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn bench_report_emits_all_suites_and_valid_json() {
+        let rep = tiny_report();
+        let names: Vec<&str> = rep.suites.iter().map(|s| s.name).collect();
+        for expected in [
+            "snn.present32.event",
+            "snn.present32.reference",
+            "snn.present1.event",
+            "encode.pixel_matrix",
+            "prefetcher.nextline",
+            "prefetcher.pathfinder",
+            "e2e.report_cell",
+        ] {
+            assert!(names.contains(&expected), "missing suite {expected}");
+        }
+        assert!(rep.suites.iter().all(|s| s.median_ns > 0.0));
+        assert!(rep.present32_speedup.is_finite() && rep.present32_speedup > 0.0);
+
+        let doc = json::parse(&rep.to_json()).expect("bench JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(SCHEMA)
+        );
+        let suites = doc.get("suites").and_then(json::Value::as_object).unwrap();
+        assert_eq!(suites.len(), rep.suites.len());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("snn_present32_event_vs_reference_speedup"))
+            .and_then(json::Value::as_f64)
+            .is_some());
+
+        let text = rep.render_text();
+        assert!(text.contains("snn.present32.event"));
+    }
+
+    #[test]
+    fn baseline_gate_round_trips_and_flags_regressions() {
+        let rep = tiny_report();
+        // Against its own document nothing regresses, at any threshold.
+        let deltas = compare_to_baseline(&rep, &rep.to_json(), 0.5).unwrap();
+        assert_eq!(deltas.len(), rep.suites.len());
+        assert!(deltas.iter().all(|d| !d.regressed), "self-compare is clean");
+
+        // Against a 10x-faster fabricated baseline everything regresses.
+        let mut fast = rep.clone();
+        for s in &mut fast.suites {
+            s.median_ns /= 10.0;
+        }
+        let deltas = compare_to_baseline(&rep, &fast.to_json(), 40.0).unwrap();
+        assert!(deltas.iter().all(|d| d.regressed));
+        let rendered = render_deltas(&deltas, 40.0);
+        assert!(rendered.contains("REGRESSED"));
+
+        // Unknown suites in the baseline are skipped, not fatal.
+        let partial = r#"{"suites":{"snn.present32.event":{"median_ns":1e12}}}"#;
+        let deltas = compare_to_baseline(&rep, partial, 40.0).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].regressed, "1e12 ns baseline cannot regress");
+
+        assert!(compare_to_baseline(&rep, "not json", 40.0).is_err());
+        assert!(compare_to_baseline(&rep, "{}", 40.0).is_err());
+    }
+}

@@ -28,11 +28,7 @@ impl Fig4Result {
 
     /// Mean IPC over workloads for one prefetcher.
     pub fn mean_ipc(&self, label: &str) -> f64 {
-        let evals: Vec<Evaluation> = self
-            .for_prefetcher(label)
-            .into_iter()
-            .cloned()
-            .collect();
+        let evals: Vec<Evaluation> = self.for_prefetcher(label).into_iter().cloned().collect();
         mean(&evals, |e| e.ipc())
     }
 }

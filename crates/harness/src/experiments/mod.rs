@@ -1,5 +1,6 @@
 //! One module per paper table/figure.
 
+pub mod bench;
 pub mod extensions;
 pub mod fig4;
 pub mod hardware;

@@ -145,7 +145,11 @@ impl RunReport {
         out.push_str(",\"seed\":");
         out.push_str(&self.seed.to_string());
         out.push_str(",\"telemetry_enabled\":");
-        out.push_str(if self.telemetry_enabled { "true" } else { "false" });
+        out.push_str(if self.telemetry_enabled {
+            "true"
+        } else {
+            "false"
+        });
         out.push_str(",\"rows\":[");
         for (i, r) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -307,11 +311,7 @@ mod tests {
             return;
         }
         let scenario = Scenario::with_loads(4000);
-        let report = run(
-            &scenario,
-            &[PrefetcherKind::NextLine],
-            &[Workload::Sphinx],
-        );
+        let report = run(&scenario, &[PrefetcherKind::NextLine], &[Workload::Sphinx]);
         let row = &report.rows[0];
         assert!(row.sim_issued > 0, "next-line issues prefetches");
         assert_eq!(

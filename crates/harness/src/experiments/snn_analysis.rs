@@ -110,13 +110,17 @@ pub fn tab2(seed: u64) -> (Vec<Tab2Row>, SpikeMonitor, String) {
 
     let mut t = TextTable::new(
         "Table 2: SNN firing/learning behaviour on the scripted patterns of §3.6",
-        &["input pattern", "firing neuron", "firing tick", "runner-up potential"],
+        &[
+            "input pattern",
+            "firing neuron",
+            "firing tick",
+            "runner-up potential",
+        ],
     );
     for r in &rows {
         t.row(vec![
             format!("{:?}", r.pattern),
-            r.firing_neuron
-                .map_or("-".to_string(), |n| n.to_string()),
+            r.firing_neuron.map_or("-".to_string(), |n| n.to_string()),
             r.firing_tick.map_or("-".to_string(), |t| t.to_string()),
             format!("{:.1}", r.runner_up_potential),
         ]);
@@ -144,14 +148,13 @@ mod tests {
         assert_eq!(rows.len(), 11);
         assert!(text.contains("Table 2"));
         // The repeated {1,2,4} pattern should settle on a stable winner.
-        let winners: Vec<Option<usize>> =
-            rows[..6].iter().map(|r| r.firing_neuron).collect();
+        let winners: Vec<Option<usize>> = rows[..6].iter().map(|r| r.firing_neuron).collect();
         let trained = winners.iter().rev().flatten().next().copied();
-        assert!(trained.is_some(), "pattern should trigger firing: {winners:?}");
-        let stable = winners
-            .iter()
-            .filter(|w| **w == trained)
-            .count();
+        assert!(
+            trained.is_some(),
+            "pattern should trigger firing: {winners:?}"
+        );
+        let stable = winners.iter().filter(|w| **w == trained).count();
         assert!(stable >= 3, "winner should recur: {winners:?}");
         // Monitor recorded 11 intervals of 100 ticks.
         assert_eq!(monitor.interval_starts().len(), 11);

@@ -64,7 +64,12 @@ pub fn tab7(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab7Row>, Strin
     });
     let mut t = TextTable::new(
         "Table 7: deltas within range, per trace",
-        &["trace", "#deltas in (-31,31)", "#deltas in (-15,15)", "loads"],
+        &[
+            "trace",
+            "#deltas in (-31,31)",
+            "#deltas in (-15,15)",
+            "loads",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -144,7 +149,12 @@ pub fn tab8(scenario: &Scenario, workloads: &[Workload]) -> (Vec<Tab8Row>, Strin
     });
     let mut t = TextTable::new(
         "Table 8: per-1K-access delta statistics (PC/page-qualified)",
-        &["trace", "avg #deltas", "avg #distinct deltas", "top-5 occurrences"],
+        &[
+            "trace",
+            "avg #deltas",
+            "avg #distinct deltas",
+            "top-5 occurrences",
+        ],
     );
     for r in &rows {
         t.row(vec![

@@ -273,8 +273,16 @@ mod tests {
         assert!(tt.area_mm2 <= 0.021, "TT area {}", tt.area_mm2);
         assert!(tt.power_w <= 0.0115, "TT power {}", tt.power_w);
         let it = CamHardware::inference_table().estimate();
-        assert!(close(it.area_mm2, 0.00006, 0.00002), "IT area {}", it.area_mm2);
-        assert!(close(it.power_w, 0.00002, 0.00001), "IT power {}", it.power_w);
+        assert!(
+            close(it.area_mm2, 0.00006, 0.00002),
+            "IT area {}",
+            it.area_mm2
+        );
+        assert!(
+            close(it.power_w, 0.00002, 0.00001),
+            "IT power {}",
+            it.power_w
+        );
     }
 
     #[test]
@@ -282,7 +290,11 @@ mod tests {
         // Abstract: 0.23 mm², 0.5 W.
         let e = PathfinderHardware::paper_default().estimate();
         assert!(close(e.area_mm2, 0.23, 0.01), "total area {}", e.area_mm2);
-        assert!(e.power_w > 0.4 && e.power_w < 0.5, "total power {}", e.power_w);
+        assert!(
+            e.power_w > 0.4 && e.power_w < 0.5,
+            "total power {}",
+            e.power_w
+        );
     }
 
     #[test]

@@ -126,8 +126,9 @@ mod tests {
         let c = Clustering::fit(&vals, 6, 30);
         assert_eq!(c.len(), 6);
         // Every region maps to its own cluster.
-        let ids: std::collections::HashSet<usize> =
-            (0..6).map(|r| c.assign((r as f64) * 1e9 + 50.0 * 64.0)).collect();
+        let ids: std::collections::HashSet<usize> = (0..6)
+            .map(|r| c.assign((r as f64) * 1e9 + 50.0 * 64.0))
+            .collect();
         assert_eq!(ids.len(), 6);
     }
 }

@@ -223,7 +223,11 @@ mod tests {
     #[test]
     fn learns_a_fixed_mapping() {
         let mut m = tiny();
-        let examples = [(vec![1usize, 2, 3], 4usize), (vec![5, 5, 5], 6), (vec![2, 4, 6], 8)];
+        let examples = [
+            (vec![1usize, 2, 3], 4usize),
+            (vec![5, 5, 5], 6),
+            (vec![2, 4, 6], 8),
+        ];
         for _ in 0..300 {
             for (seq, tgt) in &examples {
                 m.train_step(seq, *tgt, 0.01);

@@ -9,8 +9,7 @@ use crate::api::Prefetcher;
 /// Michaud's offset candidate list: numbers of the form `2^i * 3^j * 5^k`
 /// up to 64, the standard BO configuration.
 pub const BO_OFFSETS: [i64; 26] = [
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
 ];
 
 const SCORE_MAX: u32 = 31;

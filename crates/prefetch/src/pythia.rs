@@ -144,8 +144,7 @@ impl PythiaPrefetcher {
     /// combination: PC plus recent delta history.
     fn state_of(&self, access: &MemoryAccess, page_delta: i64) -> u64 {
         let pc = access.pc.raw();
-        let mix = pc
-            .wrapping_mul(0x9E3779B97F4A7C15)
+        let mix = pc.wrapping_mul(0x9E3779B97F4A7C15)
             ^ ((page_delta as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
             ^ ((self.last_delta as u64).rotate_left(17));
         mix & 0xFFFF // bounded state space, like Pythia's hashed vault

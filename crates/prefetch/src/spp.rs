@@ -273,7 +273,9 @@ mod tests {
         let mut issued = 0usize;
         let mut x = 7u64;
         for i in 0..5000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let off = (x >> 33) % 64;
             issued += spp.on_access(&access(i, (i / 8) % 32, off)).len();
         }

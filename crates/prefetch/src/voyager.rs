@@ -281,10 +281,7 @@ impl Prefetcher for VoyagerPrefetcher {
         // Cap the offline training budget: beyond ~60K examples per epoch
         // the memorization quality saturates while the wall-clock keeps
         // growing (the paper notes Voyager "needs a long time to train").
-        let stride = cfg
-            .train_stride
-            .max(tokens.len() / 40_000)
-            .max(1);
+        let stride = cfg.train_stride.max(tokens.len() / 40_000).max(1);
         let mut model = VoyagerModel::new(cfg);
         for _ in 0..cfg.epochs {
             let mut i = 0usize;

@@ -87,7 +87,10 @@ impl Cache {
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.sets > 0 && config.ways > 0, "cache must be non-empty");
+        assert!(
+            config.sets > 0 && config.ways > 0,
+            "cache must be non-empty"
+        );
         Cache {
             config,
             sets: vec![vec![Line::INVALID; config.ways]; config.sets],
@@ -140,9 +143,7 @@ impl Cache {
     /// Checks presence without updating LRU, stats, or prefetch bits.
     pub fn probe(&self, block: Block) -> bool {
         let set = self.set_index(block);
-        self.sets[set]
-            .iter()
-            .any(|l| l.valid && l.block == block)
+        self.sets[set].iter().any(|l| l.valid && l.block == block)
     }
 
     /// Fills `block` into the cache, evicting the LRU line if needed.

@@ -169,7 +169,10 @@ mod tests {
         let issue0 = m.issue_cycle(0);
         m.complete_load(0, issue0, 1000);
         let issue_far = m.issue_cycle(4);
-        assert!(issue_far >= 1000, "rob gate must delay dispatch, got {issue_far}");
+        assert!(
+            issue_far >= 1000,
+            "rob gate must delay dispatch, got {issue_far}"
+        );
     }
 
     #[test]
@@ -202,6 +205,9 @@ mod tests {
             }
             m.finish(200 * 4)
         };
-        assert!(run(256) < run(16), "larger window should overlap more misses");
+        assert!(
+            run(256) < run(16),
+            "larger window should overlap more misses"
+        );
     }
 }

@@ -368,7 +368,11 @@ mod tests {
         // The DRAM side sheds prefetches when banks are congested, so a
         // fully bandwidth-bound miss stream cannot cover everything — but
         // what does issue should be accurate and substantially useful.
-        assert!(with_pf.prefetches_useful > 700, "{}", with_pf.prefetches_useful);
+        assert!(
+            with_pf.prefetches_useful > 700,
+            "{}",
+            with_pf.prefetches_useful
+        );
         assert!(with_pf.accuracy() > 0.85, "{}", with_pf.accuracy());
     }
 
@@ -399,14 +403,16 @@ mod tests {
             .collect();
         let report = Simulator::new(SimConfig::default()).run(&trace, &prefetches);
         assert_eq!(report.prefetches_requested, 10);
-        assert_eq!(report.prefetches_issued, 1, "resident block filters re-prefetch");
+        assert_eq!(
+            report.prefetches_issued, 1,
+            "resident block filters re-prefetch"
+        );
     }
 
     #[test]
     fn warmup_excludes_counters() {
         let trace = miss_trace(100);
-        let report =
-            Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], 50);
+        let report = Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], 50);
         assert_eq!(report.loads, 50);
         assert!(report.cycles > 0);
     }
@@ -418,8 +424,7 @@ mod tests {
         // empty measured window instead of claiming full-run cycles and
         // instructions for zero measured loads.
         for warmup in [100usize, 101, 10_000] {
-            let report =
-                Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], warmup);
+            let report = Simulator::new(SimConfig::default()).run_with_warmup(&trace, &[], warmup);
             assert_eq!(report.loads, 0, "warmup={warmup}");
             assert_eq!(report.instructions, 0, "warmup={warmup}");
             assert_eq!(report.cycles, 0, "warmup={warmup}");
@@ -461,10 +466,7 @@ mod tests {
     #[test]
     fn dependent_chains_serialize() {
         let independent = miss_trace(1000);
-        let dependent: Trace = independent
-            .iter()
-            .map(|a| a.dependent())
-            .collect();
+        let dependent: Trace = independent.iter().map(|a| a.dependent()).collect();
         let free = Simulator::new(SimConfig::default()).run(&independent, &[]);
         let chained = Simulator::new(SimConfig::default()).run(&dependent, &[]);
         assert!(

@@ -178,7 +178,10 @@ mod tests {
         write_trace(&sample(), &mut buf).unwrap();
         buf[16 + 26 * 3 + 5] ^= 0xFF; // flip a byte in record 3
         let err = read_trace(&buf[..]).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Corrupt { record: 3 }), "{err}");
+        assert!(
+            matches!(err, ReadTraceError::Corrupt { record: 3 }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -46,6 +46,39 @@ impl PoissonEncoder {
         }
     }
 
+    /// Appends the indices of all active inputs (`rates[i] > 0`) to
+    /// `active_out` (cleared first). Computed once per presentation by the
+    /// event-driven kernel so each tick only visits inputs that can spike.
+    pub fn active_inputs(&self, rates: &[f32], active_out: &mut Vec<usize>) {
+        active_out.clear();
+        for (i, &r) in rates.iter().enumerate() {
+            if r > 0.0 {
+                active_out.push(i);
+            }
+        }
+    }
+
+    /// Like [`PoissonEncoder::sample_tick`] but only visits the
+    /// pre-computed `active` index list (all `i` with `rates[i] > 0`, in
+    /// ascending order). Consumes the RNG exactly as `sample_tick` does —
+    /// one draw per active input — so the two paths produce bit-identical
+    /// spike trains from the same generator state.
+    pub fn sample_tick_active(
+        &self,
+        rates: &[f32],
+        active: &[usize],
+        rng: &mut StdRng,
+        spikes_out: &mut Vec<usize>,
+    ) {
+        spikes_out.clear();
+        for &i in active {
+            let p = (rates[i] * self.max_rate).min(1.0);
+            if rng.gen_range(0.0f32..1.0) < p {
+                spikes_out.push(i);
+            }
+        }
+    }
+
     /// Expected number of spikes for `rates` over `ticks` ticks.
     pub fn expected_spikes(&self, rates: &[f32], ticks: u32) -> f32 {
         rates
@@ -113,5 +146,24 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_bad_rate() {
         let _ = PoissonEncoder::new(1.5);
+    }
+
+    #[test]
+    fn active_sampling_matches_full_scan() {
+        let enc = PoissonEncoder::new(0.7);
+        let rates = [0.0, 0.9, 0.0, 0.4, 1.0, 0.0];
+        let mut active = Vec::new();
+        enc.active_inputs(&rates, &mut active);
+        assert_eq!(active, vec![1, 3, 4]);
+        // Identical RNG consumption: both paths draw once per active input,
+        // so seeded generators stay in lockstep across ticks.
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            enc.sample_tick(&rates, &mut rng_a, &mut out_a);
+            enc.sample_tick_active(&rates, &active, &mut rng_b, &mut out_b);
+            assert_eq!(out_a, out_b);
+        }
     }
 }

@@ -39,6 +39,7 @@ pub mod encoding;
 pub mod lif;
 pub mod monitor;
 pub mod network;
+pub mod reference;
 
 pub use config::{LifConfig, SnnConfig, StdpConfig};
 pub use encoding::PoissonEncoder;

@@ -70,6 +70,37 @@ impl LifLayer {
         }
     }
 
+    /// Bulk injection: adds `currents[i] * gain` to every non-refractory
+    /// neuron in one contiguous pass. This is the event-driven kernel's
+    /// replacement for per-synapse [`LifLayer::inject`] calls — the caller
+    /// accumulates a tick's synaptic drive into a scratch buffer and lands
+    /// it on the membrane in a single sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` differs from the population size.
+    #[inline]
+    pub fn inject_all(&mut self, currents: &[f32], gain: f32) {
+        assert_eq!(currents.len(), self.v.len(), "drive buffer length");
+        for ((v, r), &c) in self.v.iter_mut().zip(&self.refrac).zip(currents) {
+            if *r == 0 {
+                *v += c * gain;
+            }
+        }
+    }
+
+    /// Injects the same `current` into every non-refractory neuron. Batched
+    /// lateral inhibition uses this for the population-wide term, then adds
+    /// each firing neuron's own contribution back with [`LifLayer::inject`].
+    #[inline]
+    pub fn inject_uniform(&mut self, current: f32) {
+        for (v, r) in self.v.iter_mut().zip(&self.refrac) {
+            if *r == 0 {
+                *v += current;
+            }
+        }
+    }
+
     /// Advances one tick: decays potentials toward rest, decrements
     /// refractory timers, and collects spikes into `spikes_out` (indices of
     /// neurons that crossed threshold). Spiking neurons reset and enter
@@ -100,9 +131,17 @@ impl LifLayer {
     /// Decays all adaptive thresholds by `exp(-dt/tc)`; called once per tick
     /// for excitatory populations.
     pub fn decay_theta(&mut self, tc_theta: f32) {
-        let d = (-1.0 / tc_theta).exp();
+        self.decay_theta_by((-1.0 / tc_theta).exp());
+    }
+
+    /// Multiplies every adaptive threshold by a precomputed decay factor.
+    /// The event-driven presentation kernel hoists the `exp` in
+    /// [`LifLayer::decay_theta`] out of the per-tick path and passes the
+    /// cached factor here instead.
+    #[inline]
+    pub fn decay_theta_by(&mut self, factor: f32) {
         for t in &mut self.theta {
-            *t *= d;
+            *t *= factor;
         }
     }
 

@@ -2,6 +2,14 @@
 //! rate-coding the memory-access pixel matrix, an excitatory layer learning
 //! via STDP, and a one-to-one inhibitory layer providing lateral inhibition
 //! (§3.1, Figure 1).
+//!
+//! The presentation hot path is an *event-driven* kernel: each tick's
+//! synaptic drive is accumulated into a reusable per-neuron buffer and
+//! landed on the membrane in one [`LifLayer::inject_all`] pass, lateral
+//! inhibition is batched as `total spike drive − own contribution`, and all
+//! per-presentation buffers live in scratch owned by the network. The
+//! pre-rewrite per-synapse kernel is retained in [`crate::reference`] as
+//! the equivalence/benchmark baseline.
 
 use pathfinder_telemetry as telemetry;
 use rand::rngs::StdRng;
@@ -30,8 +38,53 @@ pub struct RunOutcome {
     /// 1-tick approximation target (§3.4, Table 1).
     pub first_tick_argmax: usize,
     /// Highest end-of-interval potential among neurons other than the
-    /// winner (Table 2's "potential of the next-best neuron").
+    /// winner (Table 2's "potential of the next-best neuron"). For a
+    /// single-neuron population (no runner-up exists) this is clamped to
+    /// the excitatory resting potential.
     pub runner_up_potential: f32,
+}
+
+/// Reusable per-presentation buffers. Hoisting these into the network means
+/// a presentation allocates nothing in its tick loop; the buffers hold no
+/// state between presentations beyond their capacity ([`PresentScratch::reset`]
+/// re-initializes every value before use).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PresentScratch {
+    /// Indices of inputs with a non-zero rate (computed once per
+    /// presentation; per-tick sampling only visits these).
+    pub(crate) active_inputs: Vec<usize>,
+    /// This tick's input spikes.
+    pub(crate) input_spikes: Vec<usize>,
+    /// This tick's excitatory spikes.
+    pub(crate) exc_spikes: Vec<usize>,
+    /// This tick's inhibitory spikes.
+    pub(crate) inh_spikes: Vec<usize>,
+    /// Per-excitatory-neuron synaptic drive accumulated within one tick.
+    pub(crate) drive: Vec<f32>,
+    /// Expected-drive scores for the presentation (the §3.4 readout, also
+    /// the winner tie-breaker).
+    pub(crate) drive_scores: Vec<f32>,
+    /// Spike count per excitatory neuron.
+    pub(crate) spike_counts: Vec<u32>,
+    /// First-fire tick per excitatory neuron.
+    pub(crate) first_fire: Vec<Option<u32>>,
+    /// Distinct firing neurons in first-fire order.
+    pub(crate) fired_order: Vec<usize>,
+}
+
+impl PresentScratch {
+    /// Clears all buffers and sizes the per-neuron ones to `n_exc`.
+    fn reset(&mut self, n_exc: usize) {
+        self.drive.clear();
+        self.drive.resize(n_exc, 0.0);
+        self.spike_counts.clear();
+        self.spike_counts.resize(n_exc, 0);
+        self.first_fire.clear();
+        self.first_fire.resize(n_exc, None);
+        self.fired_order.clear();
+        // active_inputs / input_spikes / exc_spikes / inh_spikes /
+        // drive_scores are cleared by their producers.
+    }
 }
 
 /// The 3-layer SNN with on-line STDP learning.
@@ -54,22 +107,31 @@ pub struct RunOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DiehlCookNetwork {
-    cfg: SnnConfig,
+    pub(crate) cfg: SnnConfig,
     /// Input→excitatory weights, input-major: `w[i * n_exc + j]`.
-    weights: Vec<f32>,
-    exc: LifLayer,
-    inh: LifLayer,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) exc: LifLayer,
+    pub(crate) inh: LifLayer,
     /// Presynaptic eligibility traces (per input).
-    x_pre: Vec<f32>,
+    pub(crate) x_pre: Vec<f32>,
     /// Postsynaptic eligibility traces (per excitatory neuron).
-    x_post: Vec<f32>,
+    pub(crate) x_post: Vec<f32>,
     /// Excitatory columns touched by STDP since the last normalization.
-    dirty_cols: Vec<bool>,
-    encoder: PoissonEncoder,
-    rng: StdRng,
-    trace_decay: f32,
+    pub(crate) dirty_cols: Vec<bool>,
+    pub(crate) encoder: PoissonEncoder,
+    pub(crate) rng: StdRng,
+    pub(crate) trace_decay: f32,
+    /// Precomputed per-tick theta decay factor `exp(-1/tc_theta_decay)`,
+    /// hoisted out of the tick loop.
+    pub(crate) theta_decay: f32,
     /// Total input presentations so far.
-    presentations: u64,
+    pub(crate) presentations: u64,
+    /// Reusable presentation buffers (see [`PresentScratch`]).
+    pub(crate) scratch: PresentScratch,
+    /// Reusable list of neurons with a live post trace, rebuilt each STDP
+    /// tick (kept outside [`PresentScratch`] because both kernels' STDP
+    /// shares it).
+    pub(crate) hot_posts: Vec<usize>,
 }
 
 impl DiehlCookNetwork {
@@ -97,7 +159,10 @@ impl DiehlCookNetwork {
             weights,
             rng,
             trace_decay: (-1.0 / cfg.stdp.tc_trace).exp(),
+            theta_decay: (-1.0 / cfg.tc_theta_decay).exp(),
             presentations: 0,
+            scratch: PresentScratch::default(),
+            hot_posts: Vec::new(),
             cfg,
         };
         net.normalize_dirty();
@@ -119,11 +184,21 @@ impl DiehlCookNetwork {
         &self.weights
     }
 
-    /// The incoming weights of excitatory neuron `j`.
+    /// Iterator over the incoming weights of excitatory neuron `j`
+    /// (a strided column view; no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n_exc`.
+    pub fn column_weights(&self, j: usize) -> impl Iterator<Item = f32> + '_ {
+        assert!(j < self.cfg.n_exc, "neuron index {j} out of range");
+        self.weights[j..].iter().step_by(self.cfg.n_exc).copied()
+    }
+
+    /// The incoming weights of excitatory neuron `j`, collected into a
+    /// fresh vector. Prefer [`DiehlCookNetwork::column_weights`] in loops.
     pub fn neuron_weights(&self, j: usize) -> Vec<f32> {
-        (0..self.cfg.n_input)
-            .map(|i| self.weights[i * self.cfg.n_exc + j])
-            .collect()
+        self.column_weights(j).collect()
     }
 
     /// Presents `rates` (pixel intensities in `[0,1]`, length `n_input`) for
@@ -171,78 +246,99 @@ impl DiehlCookNetwork {
         self.x_post.fill(0.0);
 
         let n_exc = self.cfg.n_exc;
-        let mut input_spikes: Vec<usize> = Vec::new();
-        let mut exc_spikes: Vec<usize> = Vec::new();
-        let mut inh_spikes: Vec<usize> = Vec::new();
-
-        let mut spike_counts = vec![0u32; n_exc];
-        let mut first_fire: Vec<Option<u32>> = vec![None; n_exc];
-        let mut fired_order: Vec<usize> = Vec::new();
+        // Take the scratch out of `self` so helper methods borrowing
+        // `&mut self` can run while its buffers are in use.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.reset(n_exc);
         let mut first_fire_tick: Option<u32> = None;
+
+        // The active-input list drives per-tick sampling: only inputs with a
+        // non-zero rate can spike, so each tick visits O(active) inputs
+        // instead of scanning all n_input rates.
+        self.encoder.active_inputs(rates, &mut s.active_inputs);
 
         // The §3.4 1-tick approximation target: argmax of the *expected*
         // first-tick drive (input rates x weights), adjusted for adaptive
         // thresholds — computable in hardware after a single tick of
         // expected-current injection (Table 1 compares it with the
         // stochastic 32-tick winner).
-        let drive_scores = self.expected_drive_scores(rates);
-        let first_tick_argmax = argmax_f32(&drive_scores);
+        self.expected_drive_scores_into(rates, &mut s.drive_scores);
+        let first_tick_argmax = argmax_f32(&s.drive_scores);
+
+        let gain = self.cfg.input_gain;
+        let inh_strength = self.cfg.inh_strength;
 
         for tick in 0..self.cfg.ticks {
-            // 1. Sample this tick's input spikes.
-            self.encoder
-                .sample_tick(rates, &mut self.rng, &mut input_spikes);
+            // 1. Sample this tick's input spikes. The active-list path
+            //    consumes the RNG exactly like the reference kernel's full
+            //    scan, so spike trains are bit-identical across kernels.
+            self.encoder.sample_tick_active(
+                rates,
+                &s.active_inputs,
+                &mut self.rng,
+                &mut s.input_spikes,
+            );
 
-            // 2. Synaptic propagation: inputs drive excitatory neurons.
-            let gain = self.cfg.input_gain;
-            for &i in &input_spikes {
-                let row = &self.weights[i * n_exc..(i + 1) * n_exc];
-                for (j, &w) in row.iter().enumerate() {
-                    self.exc.inject(j, w * gain);
-                }
-            }
-            // 3. Advance the excitatory population.
-            self.exc.step(&mut exc_spikes);
-            self.exc.decay_theta(self.cfg.tc_theta_decay);
-
-            // 4. Lateral inhibition: each firing excitatory neuron drives
-            //    its one-to-one inhibitory partner, which suppresses every
-            //    *other* excitatory neuron. The suppression is injected
-            //    right away (landing on next tick's membrane state) so a
-            //    single winner can silence the rest of the population
-            //    before they cascade across threshold.
-            for &j in &exc_spikes {
-                self.inh.inject(j, self.cfg.exc_strength);
-                for k in 0..n_exc {
-                    if k != j {
-                        self.exc.inject(k, -self.cfg.inh_strength);
+            // 2. Event-driven synaptic propagation: accumulate each spiking
+            //    input's weight row into the per-neuron drive buffer (one
+            //    contiguous add-pass per spike), then land the tick's total
+            //    drive on the membrane in a single bulk injection.
+            if !s.input_spikes.is_empty() {
+                s.drive.fill(0.0);
+                for &i in &s.input_spikes {
+                    let row = &self.weights[i * n_exc..(i + 1) * n_exc];
+                    for (d, &w) in s.drive.iter_mut().zip(row) {
+                        *d += w;
                     }
+                }
+                self.exc.inject_all(&s.drive, gain);
+            }
+
+            // 3. Advance the excitatory population.
+            self.exc.step(&mut s.exc_spikes);
+            self.exc.decay_theta_by(self.theta_decay);
+
+            // 4. Lateral inhibition, batched: each firing excitatory neuron
+            //    suppresses every *other* excitatory neuron, which is a
+            //    uniform `-(spikes x inh_strength)` across the population
+            //    plus each firer's own contribution added back —
+            //    O(spikes + n_exc) where the reference kernel scatters
+            //    O(spikes x n_exc) individual injections. The suppression
+            //    lands on next tick's membrane state so a single winner can
+            //    silence the rest before they cascade across threshold.
+            if !s.exc_spikes.is_empty() {
+                self.exc
+                    .inject_uniform(-(s.exc_spikes.len() as f32) * inh_strength);
+                for &j in &s.exc_spikes {
+                    self.exc.inject(j, inh_strength);
+                    self.inh.inject(j, self.cfg.exc_strength);
                 }
             }
             // The inhibitory population is stepped for observability; its
             // functional effect is the suppression applied above.
-            self.inh.step(&mut inh_spikes);
+            self.inh.step(&mut s.inh_spikes);
 
             // 6. Bookkeeping.
-            for &j in &exc_spikes {
-                spike_counts[j] += 1;
-                if first_fire[j].is_none() {
-                    first_fire[j] = Some(tick);
-                    fired_order.push(j);
+            for &j in &s.exc_spikes {
+                s.spike_counts[j] += 1;
+                if s.first_fire[j].is_none() {
+                    s.first_fire[j] = Some(tick);
+                    s.fired_order.push(j);
                 }
                 first_fire_tick.get_or_insert(tick);
                 self.exc.bump_theta(j, self.cfg.theta_plus);
             }
             if let Some(m) = monitor.as_deref_mut() {
-                m.record_tick(self.exc.potentials(), &exc_spikes);
+                m.record_tick(self.exc.potentials(), &s.exc_spikes);
             }
 
             // 7. STDP (PostPre): traces decay, then spikes update weights.
             if learn {
-                stdp_updates += self.stdp_tick(&input_spikes, &exc_spikes);
+                stdp_updates +=
+                    self.stdp_tick_active(&s.active_inputs, &s.input_spikes, &s.exc_spikes);
             }
             if telemetry::enabled() {
-                input_spike_total += input_spikes.len() as u64;
+                input_spike_total += s.input_spikes.len() as u64;
             }
         }
 
@@ -257,7 +353,7 @@ impl DiehlCookNetwork {
             telemetry::counter!("snn.presentations", 1);
             telemetry::counter!(
                 "snn.exc.spikes",
-                spike_counts.iter().map(|&c| c as u64).sum::<u64>()
+                s.spike_counts.iter().map(|&c| c as u64).sum::<u64>()
             );
             telemetry::counter!("snn.input.spikes", input_spike_total);
             if learn {
@@ -265,55 +361,72 @@ impl DiehlCookNetwork {
             }
         }
 
-        let winner = Self::pick_winner(&spike_counts, &first_fire, &drive_scores);
-        let runner_up_potential = self
-            .exc
+        let winner = Self::pick_winner(&s.spike_counts, &s.first_fire, &s.drive_scores);
+        let runner_up_potential = self.runner_up_potential(winner);
+
+        let outcome = RunOutcome {
+            spike_counts: s.spike_counts.clone(),
+            winner,
+            fired: s.fired_order.clone(),
+            first_fire_tick,
+            first_tick_argmax,
+            runner_up_potential,
+        };
+        self.scratch = s;
+        outcome
+    }
+
+    /// Highest end-of-interval potential among neurons other than `winner`,
+    /// clamped to `v_rest` when no other neuron exists (`n_exc == 1` with a
+    /// winner) so callers never see the fold's `-inf` sentinel.
+    pub(crate) fn runner_up_potential(&self, winner: Option<usize>) -> f32 {
+        self.exc
             .potentials()
             .iter()
             .enumerate()
             .filter(|(j, _)| Some(*j) != winner)
             .map(|(_, &v)| v)
-            .fold(f32::NEG_INFINITY, f32::max);
-
-        RunOutcome {
-            spike_counts,
-            winner,
-            fired: fired_order,
-            first_fire_tick,
-            first_tick_argmax,
-            runner_up_potential,
-        }
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .unwrap_or(self.cfg.exc_lif.v_rest)
     }
 
     /// Per-neuron expected *time-to-fire* scores for `rates` — the
     /// deterministic quantity the 1-tick hardware readout computes. A
     /// neuron fires once its accumulated drive crosses
     /// `(v_thresh - v_rest) + theta`, so the first to fire is the one
-    /// maximizing `drive / (gap + theta)`.
-    fn expected_drive_scores(&self, rates: &[f32]) -> Vec<f32> {
+    /// maximizing `drive / (gap + theta)`. Writes into `out` (cleared and
+    /// resized) so hot paths can reuse a scratch buffer.
+    pub(crate) fn expected_drive_scores_into(&self, rates: &[f32], out: &mut Vec<f32>) {
         let n_exc = self.cfg.n_exc;
-        let mut drive = vec![0.0f32; n_exc];
+        out.clear();
+        out.resize(n_exc, 0.0);
         for (i, &r) in rates.iter().enumerate() {
             if r > 0.0 {
                 let row = &self.weights[i * n_exc..(i + 1) * n_exc];
-                for (j, &w) in row.iter().enumerate() {
-                    drive[j] += r * w;
+                for (d, &w) in out.iter_mut().zip(row) {
+                    *d += r * w;
                 }
             }
         }
         let gap = self.cfg.exc_lif.v_thresh - self.cfg.exc_lif.v_rest;
         let thetas = self.exc.thetas();
-        for (j, d) in drive.iter_mut().enumerate() {
-            *d /= gap + thetas[j].max(0.0);
+        for (d, &t) in out.iter_mut().zip(thetas) {
+            *d /= gap + t.max(0.0);
         }
-        drive
     }
 
-    fn expected_drive_argmax(&self, rates: &[f32]) -> usize {
-        argmax_f32(&self.expected_drive_scores(rates))
+    /// Allocating wrapper around
+    /// [`DiehlCookNetwork::expected_drive_scores_into`]; the reference
+    /// kernel keeps the pre-rewrite per-presentation allocation profile.
+    pub(crate) fn expected_drive_scores(&self, rates: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.expected_drive_scores_into(rates, &mut out);
+        out
     }
 
-    fn pick_winner(
+    pub(crate) fn pick_winner(
         counts: &[u32],
         first_fire: &[Option<u32>],
         drive_scores: &[f32],
@@ -342,42 +455,79 @@ impl DiehlCookNetwork {
     /// Applies one tick of PostPre STDP; returns the number of synapses
     /// touched (0 when telemetry is compiled out — the count is only
     /// maintained for observability).
-    fn stdp_tick(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) -> u64 {
-        let mut touched = 0u64;
-        let n_exc = self.cfg.n_exc;
-        let stdp = self.cfg.stdp;
-        // Trace decay.
+    pub(crate) fn stdp_tick(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) -> u64 {
+        // Trace decay over every input (the pre-rewrite behaviour; the
+        // event kernel uses the sparse variant below).
         for x in &mut self.x_pre {
             *x *= self.trace_decay;
         }
+        self.stdp_spikes(input_spikes, exc_spikes)
+    }
+
+    /// [`DiehlCookNetwork::stdp_tick`] with the pre-trace decay restricted
+    /// to `active` inputs. Bit-identical to the full decay: an input whose
+    /// rate is zero never spikes, so its pre trace is exactly 0.0 forever
+    /// and decaying it is a no-op. The event-driven kernel already holds
+    /// the active-input list, turning the O(n_input) decay into O(active).
+    pub(crate) fn stdp_tick_active(
+        &mut self,
+        active: &[usize],
+        input_spikes: &[usize],
+        exc_spikes: &[usize],
+    ) -> u64 {
+        for &i in active {
+            self.x_pre[i] *= self.trace_decay;
+        }
+        self.stdp_spikes(input_spikes, exc_spikes)
+    }
+
+    /// The spike-driven half of a PostPre STDP tick: post-trace decay plus
+    /// depression/potentiation updates. Shared by both decay variants.
+    fn stdp_spikes(&mut self, input_spikes: &[usize], exc_spikes: &[usize]) -> u64 {
+        let mut touched = 0u64;
+        let n_exc = self.cfg.n_exc;
+        let stdp = self.cfg.stdp;
         for x in &mut self.x_post {
             *x *= self.trace_decay;
         }
         // Presynaptic spikes: bump pre trace, depress synapses onto
-        // recently-fired neurons (post-before-pre).
-        for &i in input_spikes {
-            self.x_pre[i] = 1.0;
-            let row = &mut self.weights[i * n_exc..(i + 1) * n_exc];
-            for (j, w) in row.iter_mut().enumerate() {
-                let xp = self.x_post[j];
-                if xp > 1e-3 {
-                    *w = (*w - stdp.nu_pre * xp).max(0.0);
+        // recently-fired neurons (post-before-pre). Only neurons with a
+        // live post trace can be depressed — usually none or a handful —
+        // so they are gathered once per tick and each spiking input's row
+        // is touched at exactly those columns, in the same ascending-j
+        // order (and therefore bit-identically) as a full row scan.
+        if !input_spikes.is_empty() {
+            let mut hot = std::mem::take(&mut self.hot_posts);
+            hot.clear();
+            hot.extend(
+                self.x_post
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > 1e-3)
+                    .map(|(j, _)| j),
+            );
+            for &i in input_spikes {
+                self.x_pre[i] = 1.0;
+                let row = &mut self.weights[i * n_exc..(i + 1) * n_exc];
+                for &j in &hot {
+                    row[j] = (row[j] - stdp.nu_pre * self.x_post[j]).max(0.0);
                     self.dirty_cols[j] = true;
                     if telemetry::enabled() {
                         touched += 1;
                     }
                 }
             }
+            self.hot_posts = hot;
         }
         // Postsynaptic spikes: bump post trace, potentiate synapses from
-        // recently-spiked inputs (pre-before-post).
+        // recently-spiked inputs (pre-before-post). The column is walked as
+        // a strided view zipped with the pre traces — same visit order as
+        // an indexed gather, without per-element bounds checks.
         for &j in exc_spikes {
             self.x_post[j] = 1.0;
             self.dirty_cols[j] = true;
-            for i in 0..self.cfg.n_input {
-                let xp = self.x_pre[i];
+            for (w, &xp) in self.weights[j..].iter_mut().step_by(n_exc).zip(&self.x_pre) {
                 if xp > 1e-3 {
-                    let w = &mut self.weights[i * n_exc + j];
                     *w = (*w + stdp.nu_post * xp).min(stdp.w_max);
                     if telemetry::enabled() {
                         touched += 1;
@@ -389,8 +539,11 @@ impl DiehlCookNetwork {
     }
 
     /// Renormalizes the incoming-weight sum of every column STDP touched to
-    /// `norm` (Table 4: 38.4), as BindsNet does after each sample.
-    fn normalize_dirty(&mut self) {
+    /// `norm` (Table 4: 38.4), as BindsNet does after each sample. Both
+    /// passes walk the column as a strided view
+    /// ([`DiehlCookNetwork::column_weights`]) instead of re-gathering by
+    /// index.
+    pub(crate) fn normalize_dirty(&mut self) {
         let n_exc = self.cfg.n_exc;
         let mut normalized = 0u64;
         for j in 0..n_exc {
@@ -401,14 +554,11 @@ impl DiehlCookNetwork {
             if telemetry::enabled() {
                 normalized += 1;
             }
-            let mut sum = 0.0f32;
-            for i in 0..self.cfg.n_input {
-                sum += self.weights[i * n_exc + j];
-            }
+            let sum: f32 = self.column_weights(j).sum();
             if sum > 0.0 {
                 let scale = self.cfg.stdp.norm / sum;
-                for i in 0..self.cfg.n_input {
-                    self.weights[i * n_exc + j] *= scale;
+                for w in self.weights[j..].iter_mut().step_by(n_exc) {
+                    *w *= scale;
                 }
             }
         }
@@ -435,7 +585,10 @@ impl DiehlCookNetwork {
         telemetry::counter!("snn.one_tick.presentations", 1);
         self.exc.reset_state();
         let n_exc = self.cfg.n_exc;
-        let winner = self.expected_drive_argmax(rates);
+        let mut scores = std::mem::take(&mut self.scratch.drive_scores);
+        self.expected_drive_scores_into(rates, &mut scores);
+        let winner = argmax_f32(&scores);
+        self.scratch.drive_scores = scores;
         if learn {
             // One presentation stands for a full input interval: decay theta
             // by the same amount the tick-by-tick path would.
@@ -456,7 +609,7 @@ impl DiehlCookNetwork {
 }
 
 /// Index of the maximum value (first on exact ties).
-fn argmax_f32(xs: &[f32]) -> usize {
+pub(crate) fn argmax_f32(xs: &[f32]) -> usize {
     let mut best = 0usize;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &x) in xs.iter().enumerate() {
@@ -509,6 +662,21 @@ mod tests {
     }
 
     #[test]
+    fn column_view_matches_collected_weights() {
+        let net = DiehlCookNetwork::new(small_cfg(), 6).unwrap();
+        for j in 0..8 {
+            let collected = net.neuron_weights(j);
+            let viewed: Vec<f32> = net.column_weights(j).collect();
+            assert_eq!(collected, viewed);
+            assert_eq!(collected.len(), net.config().n_input);
+            // The strided view walks w[i * n_exc + j] in input order.
+            for (i, &w) in collected.iter().enumerate() {
+                assert_eq!(w, net.weights()[i * 8 + j]);
+            }
+        }
+    }
+
+    #[test]
     fn repeated_pattern_stabilizes_winner() {
         let mut net = DiehlCookNetwork::new(small_cfg(), 7).unwrap();
         let rates = pattern(&[2, 10, 19], 24);
@@ -527,7 +695,10 @@ mod tests {
                 consistent += 1;
             }
         }
-        assert!(consistent >= 4, "winner should be stable, got {consistent}/5");
+        assert!(
+            consistent >= 4,
+            "winner should be stable, got {consistent}/5"
+        );
     }
 
     #[test]
@@ -571,7 +742,11 @@ mod tests {
         let rates = pattern(&[1, 12, 23], 24);
         let before = net.weights().to_vec();
         net.present(&rates, false);
-        assert_eq!(net.weights(), &before[..], "no-learn run must not move weights");
+        assert_eq!(
+            net.weights(),
+            &before[..],
+            "no-learn run must not move weights"
+        );
     }
 
     #[test]
@@ -651,5 +826,48 @@ mod tests {
             assert_eq!(a.present(&rates, true), b.present(&rates, true));
         }
         assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn single_neuron_runner_up_clamps_to_rest() {
+        // Regression: with n_exc == 1 the winner is the only neuron, so the
+        // runner-up fold is empty; it must clamp to v_rest instead of
+        // returning f32::NEG_INFINITY.
+        let mut cfg = SnnConfig {
+            n_input: 8,
+            n_exc: 1,
+            ..SnnConfig::default()
+        };
+        cfg.stdp.norm = 1.6;
+        let v_rest = cfg.exc_lif.v_rest;
+        let mut net = DiehlCookNetwork::new(cfg, 17).unwrap();
+        let rates = pattern(&[0, 3, 6], 8);
+        let mut saw_winner = false;
+        for _ in 0..10 {
+            let out = net.present(&rates, true);
+            assert!(
+                out.runner_up_potential.is_finite(),
+                "runner-up must never be -inf"
+            );
+            if out.winner.is_some() {
+                saw_winner = true;
+                assert_eq!(out.runner_up_potential, v_rest);
+            }
+        }
+        assert!(saw_winner, "the lone neuron should fire at least once");
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_presentations() {
+        // The scratch is an implementation detail, but its reuse invariant
+        // is observable: back-to-back presentations with different patterns
+        // must not leak state (counts, fired order) between intervals.
+        let mut net = DiehlCookNetwork::new(small_cfg(), 31).unwrap();
+        let a = pattern(&[0, 1, 2], 24);
+        net.present(&a, true);
+        let out = net.present(&[0.0; 24], false);
+        assert_eq!(out.spike_counts, vec![0; 8], "no stale counts");
+        assert!(out.fired.is_empty(), "no stale fired order");
+        assert_eq!(out.first_fire_tick, None);
     }
 }

@@ -1,0 +1,181 @@
+//! The pre-rewrite per-synapse presentation kernel, retained verbatim as
+//! the equivalence baseline for the event-driven hot path in
+//! [`crate::network`].
+//!
+//! Two same-seeded networks, one stepped with
+//! [`DiehlCookNetwork::present`] and one with
+//! [`DiehlCookNetwork::present_reference`], consume their RNG identically
+//! and therefore see bit-identical input spike trains. Membrane arithmetic
+//! is *re-associated* by the event-driven kernel (a tick's synaptic drive
+//! is pre-summed into a buffer before one bulk injection, and lateral
+//! inhibition lands as one batched term instead of per-spike scatters), so
+//! potentials may differ in the last few ULPs — which is why the
+//! equivalence suite asserts on spike structure (winner, fired order,
+//! counts, first-fire ticks) and near-equal weights rather than bitwise
+//! membrane state. See `tests/kernel_equivalence.rs`.
+//!
+//! This module is *not* a second implementation to maintain feature-parity
+//! with: it exists to (a) pin the semantics of the optimized kernel and
+//! (b) serve as the "before" measurement in `repro bench` and the
+//! `snn_present` Criterion group.
+
+use pathfinder_telemetry as telemetry;
+
+use crate::network::{argmax_f32, DiehlCookNetwork, RunOutcome};
+
+impl DiehlCookNetwork {
+    /// Presents `rates` through the retained pre-rewrite kernel: a full
+    /// rate scan per tick, one [`crate::LifLayer::inject`] call per
+    /// (input-spike × excitatory-neuron) synapse, a per-spike O(n_exc)
+    /// inhibition scatter, and per-presentation buffer allocations.
+    ///
+    /// Semantically equivalent to [`DiehlCookNetwork::present`] (identical
+    /// RNG consumption; spike trains match up to fp re-association of the
+    /// membrane updates). Kept for equivalence tests and as the benchmark
+    /// baseline — production paths should call `present`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != n_input`.
+    pub fn present_reference(&mut self, rates: &[f32], learn: bool) -> RunOutcome {
+        assert_eq!(
+            rates.len(),
+            self.cfg.n_input,
+            "rates length must equal n_input"
+        );
+        self.presentations += 1;
+        let _present_span = telemetry::timer!("snn.present");
+        let mut input_spike_total = 0u64;
+        let mut stdp_updates = 0u64;
+        // Fresh state per presentation (weights and theta persist).
+        self.exc.reset_state();
+        self.inh.reset_state();
+        self.x_pre.fill(0.0);
+        self.x_post.fill(0.0);
+
+        let n_exc = self.cfg.n_exc;
+        let mut input_spikes: Vec<usize> = Vec::new();
+        let mut exc_spikes: Vec<usize> = Vec::new();
+        let mut inh_spikes: Vec<usize> = Vec::new();
+
+        let mut spike_counts = vec![0u32; n_exc];
+        let mut first_fire: Vec<Option<u32>> = vec![None; n_exc];
+        let mut fired_order: Vec<usize> = Vec::new();
+        let mut first_fire_tick: Option<u32> = None;
+
+        let drive_scores = self.expected_drive_scores(rates);
+        let first_tick_argmax = argmax_f32(&drive_scores);
+
+        for tick in 0..self.cfg.ticks {
+            // 1. Sample this tick's input spikes (full scan of all rates).
+            self.encoder
+                .sample_tick(rates, &mut self.rng, &mut input_spikes);
+
+            // 2. Synaptic propagation: one injection per synapse.
+            let gain = self.cfg.input_gain;
+            for &i in &input_spikes {
+                let row = &self.weights[i * n_exc..(i + 1) * n_exc];
+                for (j, &w) in row.iter().enumerate() {
+                    self.exc.inject(j, w * gain);
+                }
+            }
+            // 3. Advance the excitatory population.
+            self.exc.step(&mut exc_spikes);
+            self.exc.decay_theta(self.cfg.tc_theta_decay);
+
+            // 4. Lateral inhibition: per-spike O(n_exc) scatter.
+            for &j in &exc_spikes {
+                self.inh.inject(j, self.cfg.exc_strength);
+                for k in 0..n_exc {
+                    if k != j {
+                        self.exc.inject(k, -self.cfg.inh_strength);
+                    }
+                }
+            }
+            self.inh.step(&mut inh_spikes);
+
+            // 6. Bookkeeping.
+            for &j in &exc_spikes {
+                spike_counts[j] += 1;
+                if first_fire[j].is_none() {
+                    first_fire[j] = Some(tick);
+                    fired_order.push(j);
+                }
+                first_fire_tick.get_or_insert(tick);
+                self.exc.bump_theta(j, self.cfg.theta_plus);
+            }
+
+            // 7. STDP (PostPre): traces decay, then spikes update weights.
+            if learn {
+                stdp_updates += self.stdp_tick(&input_spikes, &exc_spikes);
+            }
+            if telemetry::enabled() {
+                input_spike_total += input_spikes.len() as u64;
+            }
+        }
+
+        if learn {
+            self.normalize_dirty();
+        }
+
+        if telemetry::enabled() {
+            telemetry::counter!("snn.presentations", 1);
+            telemetry::counter!(
+                "snn.exc.spikes",
+                spike_counts.iter().map(|&c| c as u64).sum::<u64>()
+            );
+            telemetry::counter!("snn.input.spikes", input_spike_total);
+            if learn {
+                telemetry::counter!("snn.stdp.weight_updates", stdp_updates);
+            }
+        }
+
+        let winner = Self::pick_winner(&spike_counts, &first_fire, &drive_scores);
+        let runner_up_potential = self.runner_up_potential(winner);
+
+        RunOutcome {
+            spike_counts,
+            winner,
+            fired: fired_order,
+            first_fire_tick,
+            first_tick_argmax,
+            runner_up_potential,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DiehlCookNetwork, SnnConfig};
+
+    fn small_cfg() -> SnnConfig {
+        let mut cfg = SnnConfig {
+            n_input: 24,
+            n_exc: 8,
+            ..SnnConfig::default()
+        };
+        cfg.stdp.norm = 4.8;
+        cfg
+    }
+
+    #[test]
+    fn reference_kernel_learns_like_the_event_kernel() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 7).unwrap();
+        let mut rates = vec![0.0f32; 24];
+        for i in [2usize, 10, 19] {
+            rates[i] = 1.0;
+        }
+        let mut last_winner = None;
+        for _ in 0..6 {
+            last_winner = net.present_reference(&rates, true).winner.or(last_winner);
+        }
+        let trained = last_winner.expect("some neuron fires");
+        let mut consistent = 0;
+        for _ in 0..5 {
+            if net.present_reference(&rates, true).winner == Some(trained) {
+                consistent += 1;
+            }
+        }
+        assert!(consistent >= 4, "stable winner, got {consistent}/5");
+    }
+}

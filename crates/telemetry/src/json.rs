@@ -1,9 +1,14 @@
-//! Minimal JSON-writing helpers.
+//! Minimal JSON helpers: writers for the hand-rolled snapshot/report
+//! emitters, and a small reader for consumers of those documents.
 //!
 //! No JSON library is vendored in this workspace, so snapshot and report
-//! emitters hand-roll their documents; these helpers keep the escaping rules
-//! in one place.
+//! emitters hand-roll their documents; these helpers keep the escaping
+//! rules in one place. The [`parse`] reader exists for the few places that
+//! consume our own output back (e.g. the `repro bench --baseline` perf
+//! gate, and round-trip tests) — it is not a general-purpose, spec-complete
+//! parser.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.
@@ -32,5 +37,262 @@ pub fn write_f64(out: &mut String, v: f64) {
         let _ = write!(out, "{v}");
     } else {
         out.push_str("null");
+    }
+}
+
+/// A parsed JSON value (all numbers are `f64`, as in JavaScript).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also what [`write_f64`] emits for non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, with keys in sorted order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input or trailing
+/// bytes.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Value::String(string(b, pos)?)),
+        Some(b'n') => literal(b, pos, b"null", Value::Null),
+        Some(b't') => literal(b, pos, b"true", Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false", Value::Bool(false)),
+        Some(_) => number(b, pos),
+        None => Err("unexpected end".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8], v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at {pos}"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at {pos}"));
+        }
+        *pos += 1;
+        map.insert(key, value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at {pos}"));
+    }
+    *pos += 1;
+    // Bytes are collected raw (multi-byte UTF-8 passes through unchanged)
+    // and validated once at the closing quote.
+    let mut out: Vec<u8> = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("truncated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        let ch = char::from_u32(code).ok_or("bad codepoint")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| format!("bad number at {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": null, "e": true}"#)
+            .expect("valid");
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.5),
+                Value::Number(-300.0),
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            Some("x\ny")
+        );
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("a").and_then(Value::as_f64), None);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut doc = String::from("{");
+        write_string(&mut doc, "name\"with\\escapes");
+        doc.push(':');
+        write_f64(&mut doc, 1.25);
+        doc.push(',');
+        write_string(&mut doc, "nan");
+        doc.push(':');
+        write_f64(&mut doc, f64::NAN);
+        doc.push('}');
+        let v = parse(&doc).expect("own output parses");
+        assert_eq!(
+            v.get("name\"with\\escapes").and_then(Value::as_f64),
+            Some(1.25)
+        );
+        assert_eq!(v.get("nan"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("nope").is_err());
     }
 }

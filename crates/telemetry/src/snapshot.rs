@@ -203,7 +203,11 @@ impl Snapshot {
                 out.push(',');
             }
             json_string(out, k);
-            let _ = write!(out, ":{{\"count\":{},\"total_ns\":{}}}", t.count, t.total_ns);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"total_ns\":{}}}",
+                t.count, t.total_ns
+            );
         }
         out.push_str("}}");
     }
@@ -299,12 +303,9 @@ mod tests {
         Snapshot {
             counters: [("pf.issued".to_string(), 42u64)].into_iter().collect(),
             gauges: [("occupancy".to_string(), 0.75f64)].into_iter().collect(),
-            histograms: [(
-                "depth".to_string(),
-                HistogramSnapshot::from_histogram(&h),
-            )]
-            .into_iter()
-            .collect(),
+            histograms: [("depth".to_string(), HistogramSnapshot::from_histogram(&h))]
+                .into_iter()
+                .collect(),
             timers: [(
                 "phase".to_string(),
                 TimerSnapshot {
@@ -317,157 +318,10 @@ mod tests {
         }
     }
 
-    /// Minimal JSON reader used only to verify `to_json` emits a document a
-    /// standard parser would accept and that values survive the trip.
-    mod json {
-        use std::collections::BTreeMap;
-
-        #[derive(Debug, PartialEq)]
-        pub enum Value {
-            Null,
-            Number(f64),
-            String(String),
-            Array(Vec<Value>),
-            Object(BTreeMap<String, Value>),
-        }
-
-        pub fn parse(s: &str) -> Result<Value, String> {
-            let bytes = s.as_bytes();
-            let mut pos = 0;
-            let v = value(bytes, &mut pos)?;
-            skip_ws(bytes, &mut pos);
-            if pos != bytes.len() {
-                return Err(format!("trailing input at {pos}"));
-            }
-            Ok(v)
-        }
-
-        fn skip_ws(b: &[u8], pos: &mut usize) {
-            while *pos < b.len() && b[*pos].is_ascii_whitespace() {
-                *pos += 1;
-            }
-        }
-
-        fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b'{') => object(b, pos),
-                Some(b'[') => array(b, pos),
-                Some(b'"') => Ok(Value::String(string(b, pos)?)),
-                Some(b'n') => {
-                    if b[*pos..].starts_with(b"null") {
-                        *pos += 4;
-                        Ok(Value::Null)
-                    } else {
-                        Err(format!("bad literal at {pos}"))
-                    }
-                }
-                Some(_) => number(b, pos),
-                None => Err("unexpected end".into()),
-            }
-        }
-
-        fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-            *pos += 1; // '{'
-            let mut map = BTreeMap::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Value::Object(map));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = string(b, pos)?;
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at {pos}"));
-                }
-                *pos += 1;
-                map.insert(key, value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Value::Object(map));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
-                }
-            }
-        }
-
-        fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-            *pos += 1; // '['
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                items.push(value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at {pos}")),
-                }
-            }
-        }
-
-        fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-            if b.get(*pos) != Some(&b'"') {
-                return Err(format!("expected '\"' at {pos}"));
-            }
-            *pos += 1;
-            let mut out = String::new();
-            while let Some(&c) = b.get(*pos) {
-                *pos += 1;
-                match c {
-                    b'"' => return Ok(out),
-                    b'\\' => {
-                        let esc = *b.get(*pos).ok_or("truncated escape")?;
-                        *pos += 1;
-                        match esc {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let hex = std::str::from_utf8(&b[*pos..*pos + 4])
-                                    .map_err(|e| e.to_string())?;
-                                let code =
-                                    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
-                                *pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other}")),
-                        }
-                    }
-                    c => out.push(c as char),
-                }
-            }
-            Err("unterminated string".into())
-        }
-
-        fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-            let start = *pos;
-            while *pos < b.len()
-                && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
-            {
-                *pos += 1;
-            }
-            std::str::from_utf8(&b[start..*pos])
-                .ok()
-                .and_then(|s| s.parse::<f64>().ok())
-                .map(Value::Number)
-                .ok_or_else(|| format!("bad number at {start}"))
-        }
-    }
+    /// The shared minimal JSON reader (`crate::json::parse`) verifies that
+    /// `to_json` emits a document a standard parser would accept and that
+    /// values survive the trip.
+    use crate::json;
 
     #[test]
     fn json_round_trips_through_a_parser() {

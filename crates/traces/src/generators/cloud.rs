@@ -31,7 +31,12 @@ pub fn generate_cassandra(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             2.0,
-            GatherPattern::new(0x72_000_0000, scaled_region(loads, 0.20, 256), 64, 0x60_1020),
+            GatherPattern::new(
+                0x72_000_0000,
+                scaled_region(loads, 0.20, 256),
+                64,
+                0x60_1020,
+            ),
         )
         .with(
             1.5,
@@ -94,7 +99,12 @@ pub fn generate_cloud9(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             1.0,
-            GatherPattern::new(0x84_000_0000, scaled_region(loads, 0.10, 256), 64, 0x61_1040),
+            GatherPattern::new(
+                0x84_000_0000,
+                scaled_region(loads, 0.10, 256),
+                64,
+                0x61_1040,
+            ),
         )
         .generate(loads, seed)
 }
@@ -129,7 +139,12 @@ pub fn generate_nutch(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             1.0,
-            GatherPattern::new(0x93_000_0000, scaled_region(loads, 0.11, 256), 64, 0x62_1030),
+            GatherPattern::new(
+                0x93_000_0000,
+                scaled_region(loads, 0.11, 256),
+                64,
+                0x62_1030,
+            ),
         )
         .generate(loads, seed)
 }
@@ -166,7 +181,9 @@ mod tests {
         let t = generate_nutch(30_000, 154, 2);
         let mut counts = std::collections::HashMap::new();
         for w in t.accesses().windows(2) {
-            *counts.entry(w[0].block().delta(w[1].block())).or_insert(0usize) += 1;
+            *counts
+                .entry(w[0].block().delta(w[1].block()))
+                .or_insert(0usize) += 1;
         }
         let mut freq: Vec<usize> = counts.values().copied().collect();
         freq.sort_unstable_by(|a, b| b.cmp(a));
@@ -180,9 +197,6 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            generate_cloud9(2000, 208, 9),
-            generate_cloud9(2000, 208, 9)
-        );
+        assert_eq!(generate_cloud9(2000, 208, 9), generate_cloud9(2000, 208, 9));
     }
 }

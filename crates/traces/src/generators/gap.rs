@@ -273,10 +273,7 @@ mod tests {
         // Within the neighbor-array PC, successive loads should walk forward
         // by at most one block (16 u32 neighbors share each 64B block).
         let t = generate_bfs(20_000, 71, 5);
-        let neigh: Vec<_> = t
-            .iter()
-            .filter(|a| a.pc.raw() == PC_NEIGHBORS)
-            .collect();
+        let neigh: Vec<_> = t.iter().filter(|a| a.pc.raw() == PC_NEIGHBORS).collect();
         assert!(neigh.len() > 1000, "neighbor loads present");
         let small = neigh
             .windows(2)
@@ -295,8 +292,7 @@ mod tests {
     #[test]
     fn cc_mixes_sequential_and_scattered() {
         let t = generate_cc(20_000, 31, 5);
-        let pcs: std::collections::HashSet<u64> =
-            t.iter().map(|a| a.pc.raw()).collect();
+        let pcs: std::collections::HashSet<u64> = t.iter().map(|a| a.pc.raw()).collect();
         assert!(pcs.contains(&PC_EDGES));
         assert!(pcs.contains(&PC_STATE));
     }

@@ -9,7 +9,6 @@ use crate::patterns::{
     StreamPattern, TemporalLoopPattern,
 };
 
-
 /// `605.mcf_s`: network-simplex pointer chasing over arc/node structures.
 ///
 /// Dominated by dependent loads through randomized arc lists — the
@@ -31,7 +30,12 @@ pub fn generate_mcf(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             1.5,
-            GatherPattern::new(0x12_000_0000, scaled_region(loads, 0.16, 256), 64, 0x50_1020),
+            GatherPattern::new(
+                0x12_000_0000,
+                scaled_region(loads, 0.16, 256),
+                64,
+                0x50_1020,
+            ),
         )
         .with(
             1.0,
@@ -108,7 +112,12 @@ pub fn generate_astar(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             1.0,
-            GatherPattern::new(0x33_000_0000, scaled_region(loads, 0.11, 512), 64, 0x52_1030),
+            GatherPattern::new(
+                0x33_000_0000,
+                scaled_region(loads, 0.11, 512),
+                64,
+                0x52_1030,
+            ),
         )
         .generate(loads, seed)
 }
@@ -132,11 +141,21 @@ pub fn generate_soplex(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             2.0,
-            StreamPattern::new(0x42_000_0000, scaled_region(loads, 0.20, 128), 128, 0x53_1020),
+            StreamPattern::new(
+                0x42_000_0000,
+                scaled_region(loads, 0.20, 128),
+                128,
+                0x53_1020,
+            ),
         )
         .with(
             1.5,
-            GatherPattern::new(0x43_000_0000, scaled_region(loads, 0.15, 256), 64, 0x53_1030),
+            GatherPattern::new(
+                0x43_000_0000,
+                scaled_region(loads, 0.15, 256),
+                64,
+                0x53_1030,
+            ),
         )
         .with(
             1.0,
@@ -174,7 +193,12 @@ pub fn generate_sphinx(loads: usize, mean_gap: u64, seed: u64) -> Trace {
         )
         .with(
             0.5,
-            GatherPattern::new(0x53_000_0000, scaled_region(loads, 0.05, 128), 64, 0x54_1030),
+            GatherPattern::new(
+                0x53_000_0000,
+                scaled_region(loads, 0.05, 128),
+                64,
+                0x54_1030,
+            ),
         )
         .generate(loads, seed)
 }
@@ -240,7 +264,9 @@ mod tests {
         ] {
             assert_eq!(t.len(), 3000, "{name}");
             assert!(
-                t.accesses().windows(2).all(|w| w[1].instr_id > w[0].instr_id),
+                t.accesses()
+                    .windows(2)
+                    .all(|w| w[1].instr_id > w[0].instr_id),
                 "{name} ids must increase"
             );
         }
@@ -279,8 +305,7 @@ mod tests {
         // The temporal loop means many blocks recur once a few loop
         // iterations have elapsed.
         let t = generate_xalan(500_000, 63, 2);
-        let unique: std::collections::HashSet<u64> =
-            t.iter().map(|a| a.block().0).collect();
+        let unique: std::collections::HashSet<u64> = t.iter().map(|a| a.block().0).collect();
         assert!(
             unique.len() < t.len() * 7 / 10,
             "xalan should revisit blocks: {} unique of {}",

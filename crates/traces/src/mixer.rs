@@ -42,7 +42,10 @@ impl WorkloadMix {
     /// Panics if `burst_min == 0`, `burst_max < burst_min`, or
     /// `mean_instr_gap == 0`.
     pub fn new(burst_min: u32, burst_max: u32, mean_instr_gap: u64) -> Self {
-        assert!(burst_min >= 1 && burst_max >= burst_min, "invalid burst range");
+        assert!(
+            burst_min >= 1 && burst_max >= burst_min,
+            "invalid burst range"
+        );
         assert!(mean_instr_gap >= 1, "instruction gap must be positive");
         WorkloadMix {
             components: Vec::new(),
@@ -60,7 +63,10 @@ impl WorkloadMix {
     ///
     /// Panics if `weight` is not strictly positive and finite.
     pub fn with(mut self, weight: f64, pattern: impl AddressPattern + Send + 'static) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         self.total_weight += weight;
         self.components.push((weight, Box::new(pattern)));
         self
@@ -93,7 +99,10 @@ impl WorkloadMix {
     ///
     /// Panics if the mix has no components.
     pub fn generate(mut self, loads: usize, seed: u64) -> Trace {
-        assert!(!self.components.is_empty(), "mix needs at least one pattern");
+        assert!(
+            !self.components.is_empty(),
+            "mix needs at least one pattern"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut trace = Trace::new();
         let mut instr_id = 0u64;

@@ -282,7 +282,10 @@ impl HeapWalkPattern {
     ///
     /// Panics if `heap_elems < 2` or `elem_bytes == 0`.
     pub fn new(base: u64, heap_elems: u64, elem_bytes: u64, pc: u64) -> Self {
-        assert!(heap_elems >= 2 && elem_bytes > 0, "heap must be non-trivial");
+        assert!(
+            heap_elems >= 2 && elem_bytes > 0,
+            "heap must be non-trivial"
+        );
         HeapWalkPattern {
             base,
             elem_bytes,
@@ -478,10 +481,7 @@ mod tests {
         let mut r = rng();
         let mut t = TemporalLoopPattern::new(0, 1 << 22, 500, 1, 5);
         let addrs: Vec<u64> = (0..500).map(|_| t.next_addr(&mut r)).collect();
-        let sequential = addrs
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 64)
-            .count();
+        let sequential = addrs.windows(2).filter(|w| w[1] == w[0] + 64).count();
         assert!(
             sequential > 200,
             "allocator-style runs expected, got {sequential}/499 sequential steps"

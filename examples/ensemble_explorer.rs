@@ -46,7 +46,12 @@ fn main() -> Result<(), String> {
             baseline.llc_misses
         );
 
-        run("PATHFINDER", &mut pathfinder()?, &trace, baseline.llc_misses);
+        run(
+            "PATHFINDER",
+            &mut pathfinder()?,
+            &trace,
+            baseline.llc_misses,
+        );
 
         let mut pf_nl = EnsemblePrefetcher::new("PF+NL", 2)
             .with(pathfinder()?)

@@ -3,9 +3,7 @@
 
 use pathfinder_suite::core::{PathfinderConfig, PathfinderPrefetcher, Readout};
 use pathfinder_suite::harness::runner::{PrefetcherKind, Scenario};
-use pathfinder_suite::prefetch::{
-    generate_prefetches, NoPrefetcher, OraclePrefetcher,
-};
+use pathfinder_suite::prefetch::{generate_prefetches, NoPrefetcher, OraclePrefetcher};
 use pathfinder_suite::sim::{SimConfig, Simulator};
 use pathfinder_suite::traces::Workload;
 
@@ -39,7 +37,11 @@ fn oracle_dominates_no_prefetch_everywhere() {
             best.ipc(),
             base.ipc()
         );
-        assert!(best.accuracy() > 0.8, "{w}: oracle accuracy {}", best.accuracy());
+        assert!(
+            best.accuracy() > 0.8,
+            "{w}: oracle accuracy {}",
+            best.accuracy()
+        );
     }
 }
 
@@ -54,7 +56,11 @@ fn competition_degree_limit_is_respected_by_all() {
             *per_trigger.entry(r.trigger_instr_id).or_insert(0usize) += 1;
         }
         let max = per_trigger.values().copied().max().unwrap_or(0);
-        assert!(max <= 2, "{}: issued {max} prefetches on one access", p.name());
+        assert!(
+            max <= 2,
+            "{}: issued {max} prefetches on one access",
+            p.name()
+        );
     }
 }
 

@@ -44,7 +44,8 @@ fn grid_is_identical_at_threads_1_and_8() {
         assert_eq!(row_s.len(), kinds.len());
         for ((eval_s, snap_s), (eval_p, snap_p)) in row_s.iter().zip(row_p) {
             assert_eq!(
-                eval_s, eval_p,
+                eval_s,
+                eval_p,
                 "evaluation differs between thread counts: {} on {}",
                 eval_s.prefetcher,
                 eval_s.workload.trace_name()

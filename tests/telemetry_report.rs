@@ -57,8 +57,12 @@ fn capture_scopes_each_prefetcher_separately() {
         &trace,
         baseline,
     );
-    let (nl_eval, nl_snap) =
-        scenario.evaluate_with_telemetry(&PrefetcherKind::NextLine, Workload::Cc5, &trace, baseline);
+    let (nl_eval, nl_snap) = scenario.evaluate_with_telemetry(
+        &PrefetcherKind::NextLine,
+        Workload::Cc5,
+        &trace,
+        baseline,
+    );
 
     // NoPrefetch issues nothing; its snapshot must not have absorbed the
     // next-line run's traffic (and vice versa).

@@ -39,8 +39,7 @@ pub trait SeedableRng: Sized {
 pub trait SampleUniform: Sized {
     /// Samples from `[low, high)` (`inclusive == false`) or `[low, high]`
     /// (`inclusive == true`).
-    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -4,7 +4,10 @@ use pathfinder_snn::SnnConfig;
 use serde::{Deserialize, Serialize};
 
 /// How prefetch predictions are read out of the SNN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` because the readout mode is part of the prediction-cache key:
+/// the two modes can disagree on the winning neuron for the same matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Readout {
     /// Full `T`-tick stochastic simulation; the most-firing neuron wins.
     FullInterval,
@@ -97,6 +100,12 @@ pub struct PathfinderConfig {
     pub training_table_entries: usize,
     /// STDP duty cycle.
     pub stdp_duty: StdpDutyCycle,
+    /// Capacity of the frozen-inference prediction cache (entries). While
+    /// STDP is duty-cycled off, queries are memoized on the packed pixel
+    /// matrix key and invalidated wholesale whenever the SNN's weight
+    /// version moves. `0` disables memoization (every inference query still
+    /// runs through the pure frozen kernel, so results are unchanged).
+    pub snn_cache_entries: usize,
     /// RNG seed for SNN initialization and Poisson encoding.
     pub seed: u64,
 }
@@ -117,6 +126,7 @@ impl Default for PathfinderConfig {
             confidence_threshold: 0,
             training_table_entries: 1024,
             stdp_duty: StdpDutyCycle::ALWAYS_ON,
+            snn_cache_entries: 1024,
             seed: 0x9A7F,
         }
     }
@@ -157,6 +167,13 @@ impl PathfinderConfig {
         }
         if self.history == 0 {
             return Err("history must be positive".into());
+        }
+        if self.history > 8 {
+            return Err(format!(
+                "history {} must be at most 8 (one byte per row in the \
+                 packed pixel-matrix cache key)",
+                self.history
+            ));
         }
         if self.neurons == 0 {
             return Err("neurons must be positive".into());
@@ -292,6 +309,7 @@ mod tests {
             |c: &mut PathfinderConfig| c.delta_range = 0,
             |c: &mut PathfinderConfig| c.delta_range = 64,
             |c: &mut PathfinderConfig| c.history = 0,
+            |c: &mut PathfinderConfig| c.history = 9,
             |c: &mut PathfinderConfig| c.labels_per_neuron = 3,
             |c: &mut PathfinderConfig| c.degree = 0,
             |c: &mut PathfinderConfig| c.training_table_entries = 0,

@@ -115,16 +115,91 @@ impl PixelMatrixEncoder {
         rates
     }
 
-    /// Paints one delta into one row, applying reorder shift and pixel
-    /// enlargement.
-    fn paint(&self, rates: &mut [f32], row: usize, delta: i16) {
+    /// Packs the matrix a delta history would encode to into one `u64` —
+    /// an exact key for memoizing SNN queries against frozen weights.
+    ///
+    /// Exactness: `encode` paints one center pixel per row (intensity 1.0)
+    /// and, in enlarged mode, derives every 0.5 neighbor from those centers
+    /// as an order-independent union — so the rate vector is a pure function
+    /// of the per-row center columns. The key records exactly those columns
+    /// (8 bits per row: `0x80 | column`, `0x00` for an unpainted pad row),
+    /// hence two histories share a key iff they encode to the same vector.
+    /// See `tests/encode_key_prop.rs` for the property-based proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `H` deltas are supplied. Requires `history <= 8`
+    /// and `row_width <= 128` (enforced by `PathfinderConfig::validate`).
+    pub fn encode_key(&self, deltas: &[i16]) -> u64 {
+        assert!(
+            deltas.len() <= self.history,
+            "history holds at most {} deltas",
+            self.history
+        );
+        let pad = self.history - deltas.len();
+        let mut key = 0u64;
+        for (row, &d) in deltas.iter().enumerate() {
+            key |= self.row_key(pad + row, d);
+        }
+        key
+    }
+
+    /// Key counterpart of [`PixelMatrixEncoder::encode_initial`]: packs the
+    /// initial-access special-case matrices with the same per-row rule as
+    /// [`PixelMatrixEncoder::encode_key`]. Explicit zero rows (the paper's
+    /// `{OF1, 0, 0}` / `{0, .., D1, ..}` placements) are painted rows and
+    /// therefore keyed as `0x80 | center`, distinct from unpainted pad rows.
+    pub fn encode_initial_key(&self, offset: Option<u8>, deltas: &[i16]) -> u64 {
+        match (offset, deltas.len()) {
+            (Some(of1), 0) => {
+                let mut key = self.row_key(0, of1 as i16);
+                for row in 1..self.history {
+                    key |= self.row_key(row, 0);
+                }
+                key
+            }
+            (None, n) if n < self.history => {
+                let zeros = self.history - n;
+                let mut key = 0u64;
+                for row in 0..zeros {
+                    key |= self.row_key(row, 0);
+                }
+                for (i, &d) in deltas.iter().enumerate() {
+                    key |= self.row_key(zeros + i, d);
+                }
+                key
+            }
+            _ => self.encode_key(deltas),
+        }
+    }
+
+    /// One row's contribution to the packed key: presence flag plus the
+    /// center column, shifted into the row's byte.
+    fn row_key(&self, row: usize, delta: i16) -> u64 {
+        debug_assert!(
+            self.history <= 8 && self.row_width <= 128,
+            "packed key needs history <= 8 rows of <= 128 columns"
+        );
+        (0x80 | self.column_of(row, delta) as u64) << (8 * row)
+    }
+
+    /// Column a clamped delta lands in within `row`, including the optional
+    /// middle-row reorder shift. Shared by `paint` and the key functions so
+    /// the packed key stays exact by construction.
+    fn column_of(&self, row: usize, delta: i16) -> usize {
         let mut d = delta.clamp(-self.delta_range, self.delta_range);
         // Reorder: shift the middle row by a fixed constant to de-alias
         // neighboring enlarged pixels.
         if self.reorder && self.history >= 3 && row == self.history / 2 {
             d = (d + REORDER_SHIFT).clamp(-self.delta_range, self.delta_range);
         }
-        let col = (d + self.delta_range) as usize;
+        (d + self.delta_range) as usize
+    }
+
+    /// Paints one delta into one row, applying reorder shift and pixel
+    /// enlargement.
+    fn paint(&self, rates: &mut [f32], row: usize, delta: i16) {
+        let col = self.column_of(row, delta);
         let base = row * self.row_width;
         rates[base + col] = 1.0;
         if self.enlarged {
@@ -275,5 +350,62 @@ mod tests {
     fn rejects_oversized_history() {
         let enc = encoder(false, false);
         let _ = enc.encode(&[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn key_matches_vector_identity() {
+        let enc = encoder(true, true);
+        // Same history → same key; clamped aliases collapse to one key
+        // exactly like the vectors do; different histories differ.
+        assert_eq!(enc.encode_key(&[1, 2, 3]), enc.encode_key(&[1, 2, 3]));
+        assert_eq!(enc.encode(&[100, 2, 3]), enc.encode(&[200, 2, 3]));
+        assert_eq!(enc.encode_key(&[100, 2, 3]), enc.encode_key(&[200, 2, 3]));
+        assert_ne!(enc.encode(&[1, 2, 3]), enc.encode(&[1, 2, 4]));
+        assert_ne!(enc.encode_key(&[1, 2, 3]), enc.encode_key(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn short_history_key_differs_from_explicit_zero_rows() {
+        let enc = encoder(false, false);
+        // encode(&[5]) pad-fills rows 0-1 (dark), while the initial-access
+        // pattern {0, 0, D1} paints explicit zero pixels there — the
+        // vectors differ, so the keys must too.
+        assert_ne!(enc.encode(&[5]), enc.encode_initial(None, &[5]));
+        assert_ne!(enc.encode_key(&[5]), enc.encode_initial_key(None, &[5]));
+    }
+
+    #[test]
+    fn initial_key_special_cases_mirror_encode_initial() {
+        let enc = encoder(true, false);
+        // First-touch offset vs one-delta history: distinct vectors and keys.
+        assert_ne!(
+            enc.encode_initial(Some(5), &[]),
+            enc.encode_initial(None, &[5])
+        );
+        assert_ne!(
+            enc.encode_initial_key(Some(5), &[]),
+            enc.encode_initial_key(None, &[5])
+        );
+        // A full history falls through to the plain encoding in both.
+        assert_eq!(enc.encode_initial(None, &[1, 2, 3]), enc.encode(&[1, 2, 3]));
+        assert_eq!(
+            enc.encode_initial_key(None, &[1, 2, 3]),
+            enc.encode_key(&[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn key_is_independent_of_enlargement_but_not_reorder() {
+        // Enlarged neighbors are derived from the centers, so for a fixed
+        // history the plain/enlarged *keys* coincide (each encoder keys its
+        // own vector space). Reorder moves a center, so keys must move.
+        let plain = encoder(false, false);
+        let big = encoder(true, false);
+        let shifted = encoder(false, true);
+        assert_eq!(plain.encode_key(&[1, 2, 3]), big.encode_key(&[1, 2, 3]));
+        assert_ne!(
+            plain.encode_key(&[10, 10, 10]),
+            shifted.encode_key(&[10, 10, 10])
+        );
     }
 }

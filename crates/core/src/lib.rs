@@ -44,12 +44,14 @@ pub mod config;
 pub mod encoder;
 pub mod extensions;
 pub mod prefetcher;
+pub mod snn_cache;
 pub mod tables;
 
 pub use config::{PathfinderConfig, Readout, StdpDutyCycle, Variant};
 pub use encoder::PixelMatrixEncoder;
 pub use extensions::CrossPagePredictor;
 pub use prefetcher::{PathfinderPrefetcher, PathfinderStats};
+pub use snn_cache::{CachedQuery, SnnCacheStats, SnnQueryCache};
 pub use tables::{
     InferenceTable, Label, TrainingEntry, TrainingTable, CONFIDENCE_INIT, CONFIDENCE_MAX,
 };

@@ -3,11 +3,12 @@
 
 use pathfinder_prefetch::Prefetcher;
 use pathfinder_sim::{Block, MemoryAccess, BLOCKS_PER_PAGE};
-use pathfinder_snn::DiehlCookNetwork;
+use pathfinder_snn::{DiehlCookNetwork, RunOutcome};
 use pathfinder_telemetry as telemetry;
 
 use crate::config::{PathfinderConfig, Readout};
 use crate::encoder::PixelMatrixEncoder;
+use crate::snn_cache::{CachedQuery, SnnQueryCache};
 use crate::tables::{InferenceTable, TrainingTable};
 
 /// Operational counters exposed for the paper's analyses (Table 6 issued
@@ -34,6 +35,14 @@ pub struct PathfinderStats {
     /// Of those, queries where the first-tick argmax-potential neuron
     /// matched the 32-tick winner (Table 1 numerator).
     pub one_tick_matches: u64,
+    /// Frozen-inference queries answered from the prediction cache.
+    pub snn_cache_hits: u64,
+    /// Frozen-inference queries that ran the SNN (cache miss or disabled).
+    pub snn_cache_misses: u64,
+    /// Prediction-cache entries evicted by the capacity bound.
+    pub snn_cache_evictions: u64,
+    /// Wholesale prediction-cache clears caused by weight-version changes.
+    pub snn_cache_invalidations: u64,
 }
 
 impl PathfinderStats {
@@ -77,6 +86,8 @@ pub struct PathfinderPrefetcher {
     encoder: PixelMatrixEncoder,
     training: TrainingTable,
     inference: InferenceTable,
+    /// Memo of frozen-inference query results (see [`SnnQueryCache`]).
+    cache: SnnQueryCache,
     stats: PathfinderStats,
 }
 
@@ -93,6 +104,7 @@ impl PathfinderPrefetcher {
             encoder: PixelMatrixEncoder::new(&config),
             training: TrainingTable::new(config.training_table_entries, config.history),
             inference: InferenceTable::new(config.neurons, config.labels_per_neuron),
+            cache: SnnQueryCache::new(config.snn_cache_entries),
             stats: PathfinderStats::default(),
             config,
         })
@@ -115,40 +127,118 @@ impl PathfinderPrefetcher {
     }
 
     /// Queries the SNN and returns the firing neurons in priority order.
-    fn query(&mut self, rates: &[f32], learn: bool) -> Vec<usize> {
+    ///
+    /// `key` is the packed pixel-matrix key for `rates`
+    /// ([`PixelMatrixEncoder::encode_key`]). Learning queries run the live
+    /// kernels; duty-cycled inference queries are pure in
+    /// `(key, readout, weight_version)` and route through the frozen kernel
+    /// and its memo, so a repeated matrix skips the SNN entirely.
+    fn query(&mut self, rates: &[f32], key: u64, learn: bool) -> Vec<usize> {
         self.stats.snn_queries += 1;
         telemetry::counter!("pf.snn.queries", 1);
-        match self.config.readout {
-            Readout::FullInterval => {
-                let out = self.network.present(rates, learn);
-                if !out.fired.is_empty() {
+        if learn {
+            return match self.config.readout {
+                Readout::FullInterval => {
+                    let digest = Self::digest_outcome(self.network.present(rates, true));
+                    self.apply_query_stats(&digest);
+                    digest.order
+                }
+                Readout::OneTick => {
+                    let winner = self.network.present_one_tick(rates, true);
                     self.stats.fired += 1;
+                    vec![winner]
                 }
-                if let Some(w) = out.winner {
-                    self.stats.one_tick_comparisons += 1;
-                    if out.first_tick_argmax == w {
-                        self.stats.one_tick_matches += 1;
+            };
+        }
+
+        // Frozen phase: drop stale memo entries if learning moved the
+        // weights since they were computed, then consult the cache. A miss
+        // runs the pure inference kernel, whose result is valid for every
+        // later query at this weight version.
+        self.cache.sync_version(self.network.weight_version());
+        let readout = self.config.readout;
+        let digest = match self.cache.get(key, readout) {
+            Some(cached) => cached,
+            None => {
+                let fresh = match readout {
+                    Readout::FullInterval => {
+                        Self::digest_outcome(self.network.present_frozen(rates))
                     }
-                }
-                // Winner first, then the other firing neurons in fire order
-                // (multi-degree via lowered inhibition, §3.4).
-                let mut order = Vec::with_capacity(out.fired.len());
-                if let Some(w) = out.winner {
-                    order.push(w);
-                }
-                for n in out.fired {
-                    if !order.contains(&n) {
-                        order.push(n);
-                    }
-                }
-                order
+                    // The 1-tick readout without learning is already a pure,
+                    // RNG-free function of the weights and thresholds.
+                    Readout::OneTick => CachedQuery {
+                        order: vec![self.network.present_one_tick(rates, false)],
+                        any_fired: true,
+                        winner_matched_argmax: None,
+                    },
+                };
+                self.cache.insert(key, readout, fresh.clone());
+                fresh
             }
-            Readout::OneTick => {
-                let winner = self.network.present_one_tick(rates, learn);
-                self.stats.fired += 1;
-                vec![winner]
+        };
+        self.apply_query_stats(&digest);
+        self.reconcile_cache_stats();
+        digest.order
+    }
+
+    /// Collapses a presentation outcome into the memoized form: the neuron
+    /// preference order (winner first, then remaining firers in fire order —
+    /// multi-degree via lowered inhibition, §3.4) plus the two stat flags a
+    /// cache hit must replay.
+    fn digest_outcome(out: RunOutcome) -> CachedQuery {
+        let mut order = Vec::with_capacity(out.fired.len());
+        if let Some(w) = out.winner {
+            order.push(w);
+        }
+        for n in out.fired {
+            if !order.contains(&n) {
+                order.push(n);
             }
         }
+        CachedQuery {
+            any_fired: !order.is_empty(),
+            winner_matched_argmax: out.winner.map(|w| out.first_tick_argmax == w),
+            order,
+        }
+    }
+
+    /// Applies a query's stat flags — identically for fresh runs and cache
+    /// hits, so the counters are invariant under memoization.
+    fn apply_query_stats(&mut self, digest: &CachedQuery) {
+        if digest.any_fired {
+            self.stats.fired += 1;
+        }
+        if let Some(matched) = digest.winner_matched_argmax {
+            self.stats.one_tick_comparisons += 1;
+            if matched {
+                self.stats.one_tick_matches += 1;
+            }
+        }
+    }
+
+    /// Folds the cache's monotonic counters into the prefetcher stats,
+    /// emitting the per-query deltas as telemetry.
+    fn reconcile_cache_stats(&mut self) {
+        let cs = self.cache.stats();
+        if telemetry::enabled() {
+            telemetry::counter!("core.snn_cache.hits", cs.hits - self.stats.snn_cache_hits);
+            telemetry::counter!(
+                "core.snn_cache.misses",
+                cs.misses - self.stats.snn_cache_misses
+            );
+            telemetry::counter!(
+                "core.snn_cache.evictions",
+                cs.evictions - self.stats.snn_cache_evictions
+            );
+            telemetry::counter!(
+                "core.snn_cache.invalidations",
+                cs.invalidations - self.stats.snn_cache_invalidations
+            );
+        }
+        self.stats.snn_cache_hits = cs.hits;
+        self.stats.snn_cache_misses = cs.misses;
+        self.stats.snn_cache_evictions = cs.evictions;
+        self.stats.snn_cache_invalidations = cs.invalidations;
     }
 }
 
@@ -211,14 +301,23 @@ impl Prefetcher for PathfinderPrefetcher {
         let entry = self.training.peek(pc, page.0).expect("entry just touched");
         let touches = entry.touches;
         let deltas = entry.deltas.clone();
-        let rates = if deltas.len() >= self.config.history {
-            self.encoder.encode(&deltas)
+        let (rates, key) = if deltas.len() >= self.config.history {
+            (
+                self.encoder.encode(&deltas),
+                self.encoder.encode_key(&deltas),
+            )
         } else if self.config.initial_access_encoding {
             // §3.4 "Initial Accesses to a Page".
             if touches == 1 {
-                self.encoder.encode_initial(Some(offset), &[])
+                (
+                    self.encoder.encode_initial(Some(offset), &[]),
+                    self.encoder.encode_initial_key(Some(offset), &[]),
+                )
             } else {
-                self.encoder.encode_initial(None, &deltas)
+                (
+                    self.encoder.encode_initial(None, &deltas),
+                    self.encoder.encode_initial_key(None, &deltas),
+                )
             }
         } else {
             // Basic design: wait for H deltas before querying.
@@ -227,7 +326,7 @@ impl Prefetcher for PathfinderPrefetcher {
             e.predictions = Vec::new();
             return Vec::new();
         };
-        let fired = self.query(&rates, learn);
+        let fired = self.query(&rates, key, learn);
 
         // (4) Prediction: high-confidence labels of the firing neurons,
         //     best label first, capped at the prefetch degree and the page

@@ -1,0 +1,112 @@
+//! Property: `PixelMatrixEncoder::encode_key` is an exact fingerprint of
+//! the encoded pixel matrix — two delta histories collide on the key *iff*
+//! `encode()` produces identical rate vectors, across every combination of
+//! the `enlarged` / `reorder` knobs and the `encode_initial` special cases.
+//!
+//! This is what makes the frozen-query memo in
+//! `pathfinder_core::snn_cache` exact rather than approximate: a key hit
+//! guarantees the SNN would have been shown the very same input.
+
+use proptest::prelude::*;
+
+use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder};
+
+fn encoder(delta_range: u8, enlarged: bool, reorder: bool) -> PixelMatrixEncoder {
+    let cfg = PathfinderConfig {
+        delta_range,
+        enlarged_pixels: enlarged,
+        reorder_pixels: reorder,
+        ..PathfinderConfig::default()
+    };
+    cfg.validate().expect("generated config is valid");
+    PixelMatrixEncoder::new(&cfg)
+}
+
+/// Deltas beyond the clamp edge (and a zero-heavy mix) maximize the chance
+/// of genuine key collisions, which is the half of the iff worth stressing.
+const DELTA_SPAN: std::ops::RangeInclusive<i16> = -90i16..=90;
+
+proptest! {
+    /// Full-history encodings: key equality ⟺ vector equality.
+    #[test]
+    fn key_collision_iff_identical_rates(
+        a0 in DELTA_SPAN, a1 in DELTA_SPAN, a2 in DELTA_SPAN,
+        b0 in DELTA_SPAN, b1 in DELTA_SPAN, b2 in DELTA_SPAN,
+        range_sel in 0usize..3,
+        enlarged in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        let delta_range = [7u8, 31, 63][range_sel];
+        let enc = encoder(delta_range, enlarged, reorder);
+        let (a, b) = ([a0, a1, a2], [b0, b1, b2]);
+        prop_assert_eq!(
+            enc.encode(&a) == enc.encode(&b),
+            enc.encode_key(&a) == enc.encode_key(&b),
+            "key/vector equality diverged for {:?} vs {:?} (range {}, enlarged {}, reorder {})",
+            a, b, delta_range, enlarged, reorder
+        );
+    }
+
+    /// Short (padded) histories against each other and against full ones:
+    /// the key distinguishes pad rows from painted rows exactly when the
+    /// vectors do.
+    #[test]
+    fn short_history_keys_track_vectors(
+        a0 in DELTA_SPAN, a1 in DELTA_SPAN, a2 in DELTA_SPAN,
+        a_len in 0usize..=3,
+        b0 in DELTA_SPAN, b1 in DELTA_SPAN, b2 in DELTA_SPAN,
+        b_len in 0usize..=3,
+        enlarged in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        let enc = encoder(31, enlarged, reorder);
+        let a_all = [a0, a1, a2];
+        let b_all = [b0, b1, b2];
+        let a = &a_all[..a_len];
+        let b = &b_all[..b_len];
+        prop_assert_eq!(
+            enc.encode(a) == enc.encode(b),
+            enc.encode_key(a) == enc.encode_key(b),
+            "padded key/vector equality diverged for {:?} vs {:?}", a, b
+        );
+    }
+
+    /// The initial-access special cases (§3.4): every pairing of
+    /// {first-touch offset, partial-delta, full-history} patterns keys
+    /// exactly like it encodes — including cross-comparisons against the
+    /// plain `encode` keyspace, which the prefetcher shares one cache with.
+    #[test]
+    fn initial_access_keys_track_vectors(
+        offset_a in 0u8..64, offset_b in 0u8..64,
+        d0 in DELTA_SPAN, d1 in DELTA_SPAN, d2 in DELTA_SPAN,
+        a_sel in 0usize..3, b_sel in 0usize..3,
+        len_a in 0usize..=2, len_b in 0usize..=2,
+        enlarged in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        let enc = encoder(31, enlarged, reorder);
+        let deltas = [d0, d1, d2];
+        // Three pattern families; selector picks one per side.
+        let build = |sel: usize, offset: u8, len: usize| -> (Vec<f32>, u64) {
+            match sel {
+                0 => (
+                    enc.encode_initial(Some(offset), &[]),
+                    enc.encode_initial_key(Some(offset), &[]),
+                ),
+                1 => (
+                    enc.encode_initial(None, &deltas[..len]),
+                    enc.encode_initial_key(None, &deltas[..len]),
+                ),
+                _ => (enc.encode(&deltas), enc.encode_key(&deltas)),
+            }
+        };
+        let (va, ka) = build(a_sel, offset_a, len_a);
+        let (vb, kb) = build(b_sel, offset_b, len_b);
+        prop_assert_eq!(
+            va == vb,
+            ka == kb,
+            "initial-access key/vector equality diverged (sel {}/{}, offsets {}/{}, deltas {:?})",
+            a_sel, b_sel, offset_a, offset_b, deltas
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The frozen-query memo must be invisible in results: cached and uncached
+//! prefetchers produce identical prefetch schedules, and learning between
+//! two identical pixel matrices yields the *post-update* prediction, never
+//! a stale cached one.
+//!
+//! Per the ROADMAP seed-robustness note, nothing here asserts on winner
+//! identity or specific predicted blocks — only on schedule equality
+//! between twin configurations and on the cache's own counters.
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher, Readout, StdpDutyCycle};
+use pathfinder_prefetch::Prefetcher;
+use pathfinder_sim::{MemoryAccess, Trace};
+
+/// Pages visited with a repeating in-page delta pattern — the steady-state
+/// workload where pixel matrices repeat heavily.
+fn delta_pattern_trace(pages: u64, deltas: &[u8]) -> Trace {
+    let mut accesses = Vec::new();
+    let mut id = 0u64;
+    for page in 0..pages {
+        let mut off = 0u64;
+        accesses.push(MemoryAccess::new(id, 0x400, page * 4096 + off * 64));
+        id += 1;
+        for rep in 0..12 {
+            let d = deltas[rep % deltas.len()] as u64;
+            if off + d >= 64 {
+                break;
+            }
+            off += d;
+            accesses.push(MemoryAccess::new(id, 0x400, page * 4096 + off * 64));
+            id += 1;
+        }
+    }
+    Trace::from_accesses(accesses)
+}
+
+fn duty_cycled_cfg(readout: Readout, cache_entries: usize) -> PathfinderConfig {
+    PathfinderConfig {
+        neurons: 20,
+        delta_range: 31,
+        readout,
+        // Short epochs so one trace crosses several learn/frozen
+        // boundaries: matrices seen while frozen get cached, then STDP
+        // resumes and must invalidate them.
+        stdp_duty: StdpDutyCycle {
+            on_accesses: 40,
+            epoch_accesses: 160,
+        },
+        snn_cache_entries: cache_entries,
+        ..PathfinderConfig::default()
+    }
+}
+
+/// Drives `pf` over the trace, collecting each access's prefetch output.
+fn run(pf: &mut PathfinderPrefetcher, trace: &Trace) -> Vec<Vec<pathfinder_sim::Block>> {
+    trace.accesses().iter().map(|a| pf.on_access(a)).collect()
+}
+
+fn assert_schedules_identical(readout: Readout) {
+    let trace = delta_pattern_trace(120, &[2, 3]);
+    let mut cached = PathfinderPrefetcher::new(duty_cycled_cfg(readout, 1024)).unwrap();
+    let mut uncached = PathfinderPrefetcher::new(duty_cycled_cfg(readout, 0)).unwrap();
+
+    let out_cached = run(&mut cached, &trace);
+    let out_uncached = run(&mut uncached, &trace);
+    assert_eq!(
+        out_cached, out_uncached,
+        "memoization must never change a single prefetch decision"
+    );
+
+    let (sc, su) = (*cached.stats(), *uncached.stats());
+    assert!(
+        sc.snn_cache_hits > 0,
+        "the repeating workload should hit the cache: {sc:?}"
+    );
+    // Everything except the cache's own counters agrees bit-for-bit.
+    let scrub = |mut s: pathfinder_core::PathfinderStats| {
+        s.snn_cache_hits = 0;
+        s.snn_cache_misses = 0;
+        s.snn_cache_evictions = 0;
+        s.snn_cache_invalidations = 0;
+        s
+    };
+    assert_eq!(
+        scrub(sc),
+        scrub(su),
+        "stats must be invariant under caching"
+    );
+}
+
+#[test]
+fn cached_and_uncached_schedules_are_identical_full_interval() {
+    assert_schedules_identical(Readout::FullInterval);
+}
+
+#[test]
+fn cached_and_uncached_schedules_are_identical_one_tick() {
+    assert_schedules_identical(Readout::OneTick);
+}
+
+/// Satellite regression: STDP updates between two identical pixel matrices
+/// must produce the post-update prediction. The uncached twin computes
+/// every query fresh, so schedule equality (checked above per-access)
+/// plus at least one wholesale invalidation proves stale entries were
+/// dropped rather than served.
+#[test]
+fn learning_between_identical_matrices_invalidates_the_cache() {
+    let trace = delta_pattern_trace(120, &[2, 3]);
+    let mut cached =
+        PathfinderPrefetcher::new(duty_cycled_cfg(Readout::FullInterval, 1024)).unwrap();
+    let mut uncached =
+        PathfinderPrefetcher::new(duty_cycled_cfg(Readout::FullInterval, 0)).unwrap();
+
+    assert_eq!(run(&mut cached, &trace), run(&mut uncached, &trace));
+
+    let s = cached.stats();
+    assert!(
+        s.snn_cache_invalidations >= 1,
+        "re-entering a learning window must clear the memo: {s:?}"
+    );
+    assert!(
+        s.snn_cache_hits > 0 && s.snn_cache_misses > 0,
+        "the duty cycle should produce both hits and post-invalidation \
+         misses: {s:?}"
+    );
+}
+
+/// A tiny cache still behaves exactly, it just evicts.
+#[test]
+fn capacity_bound_evicts_without_changing_results() {
+    let trace = delta_pattern_trace(120, &[2, 3, 5, 7]);
+    let mut tiny = PathfinderPrefetcher::new(duty_cycled_cfg(Readout::FullInterval, 2)).unwrap();
+    let mut uncached =
+        PathfinderPrefetcher::new(duty_cycled_cfg(Readout::FullInterval, 0)).unwrap();
+
+    assert_eq!(run(&mut tiny, &trace), run(&mut uncached, &trace));
+    assert!(
+        tiny.stats().snn_cache_evictions > 0,
+        "a 2-entry cache over a 4-delta pattern must evict: {:?}",
+        tiny.stats()
+    );
+}
+
+/// With STDP always on there is no frozen phase, so the cache is never
+/// consulted and its counters stay silent.
+#[test]
+fn always_on_learning_never_touches_the_cache() {
+    let trace = delta_pattern_trace(40, &[2]);
+    let cfg = PathfinderConfig {
+        neurons: 20,
+        delta_range: 31,
+        ..PathfinderConfig::default()
+    };
+    let mut pf = PathfinderPrefetcher::new(cfg).unwrap();
+    let _ = run(&mut pf, &trace);
+    let s = pf.stats();
+    assert_eq!(s.snn_cache_hits, 0);
+    assert_eq!(s.snn_cache_misses, 0);
+    assert!(s.snn_queries > 0);
+}

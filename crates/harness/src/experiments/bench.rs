@@ -2,10 +2,12 @@
 //!
 //! Runs a fixed set of microbenchmarks over the hot paths the ROADMAP
 //! cares about (SNN presentation 32-tick event-driven vs the retained
-//! reference kernel, the 1-tick readout, pixel encoding, per-prefetcher
-//! per-access cost, and one end-to-end report cell), then emits the
-//! results as `BENCH_pr3.json`: suite → median ns/op + throughput, plus a
-//! telemetry snapshot of the end-to-end cell.
+//! reference kernel, the frozen-weight inference kernel, the 1-tick
+//! readout, pixel encoding, per-prefetcher per-access cost, the
+//! duty-cycled cached vs always-on steady-state pair, and one end-to-end
+//! report cell), then emits the results as `BENCH_pr4.json`: suite →
+//! median ns/op + throughput, plus a telemetry snapshot of the
+//! end-to-end cell.
 //!
 //! With `--baseline <json>` the run becomes a *gate*: each suite's median
 //! is compared against the checked-in baseline (`benches/baseline.json`)
@@ -21,8 +23,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder};
+use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder, StdpDutyCycle};
 use pathfinder_prefetch::generate_prefetches;
+use pathfinder_sim::{MemoryAccess, Trace};
 use pathfinder_snn::DiehlCookNetwork;
 use pathfinder_telemetry::{json, Snapshot};
 use pathfinder_traces::Workload;
@@ -80,6 +83,10 @@ pub struct BenchReport {
     /// Median-speedup of the event-driven 32-tick kernel over the retained
     /// reference kernel (the PR-3 acceptance figure).
     pub present32_speedup: f64,
+    /// Median-speedup of the duty-cycled, cache-backed prefetcher over the
+    /// always-on one on the steady repeating-delta trace (the PR-4
+    /// acceptance figure; target ≥ 5x).
+    pub pathfinder_cached_speedup: f64,
     /// Telemetry snapshot of one end-to-end report cell (empty when the
     /// harness is built without the `telemetry` feature).
     pub telemetry: Snapshot,
@@ -144,6 +151,17 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         black_box(ref_net.present_reference(black_box(&rates), true));
     }));
 
+    // The frozen-weight inference kernel (PR 4): a few training rounds
+    // first so the measured presentation reflects realistic spiking, then
+    // pure frozen queries (no STDP, no traces, weight version fixed).
+    let mut frozen_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    for _ in 0..8 {
+        frozen_net.present(&rates, true);
+    }
+    suites.push(measure("snn.present32.frozen", 25, 1, || {
+        black_box(frozen_net.present_frozen(black_box(&rates)));
+    }));
+
     let mut one_tick_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
     suites.push(measure("snn.present1.event", 25, 1, || {
         black_box(one_tick_net.present_one_tick(black_box(&rates), true));
@@ -180,6 +198,37 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         }));
     }
 
+    // --- Steady-state delta workload: the PR-4 acceptance pair. ----------
+    // The same repeating-delta trace is replayed by an always-on PATHFINDER
+    // (every access trains and queries the SNN) and by a duty-cycled one
+    // whose inference-only accesses hit the frozen-query prediction cache.
+    // Both produce bit-identical schedules for a given config; the derived
+    // ratio below is the memoization speedup on this steady-state pattern.
+    let steady_trace = steady_delta_trace(opts.loads);
+    let steady_kind = PrefetcherKind::Pathfinder(PathfinderConfig::default());
+    suites.push(measure(
+        "prefetcher.pathfinder.steady",
+        11,
+        steady_trace.len() as u64,
+        || {
+            let mut p = steady_kind.build(opts.seed);
+            black_box(generate_prefetches(p.as_mut(), black_box(&steady_trace), 2));
+        },
+    ));
+    let cached_kind = PrefetcherKind::Pathfinder(PathfinderConfig {
+        stdp_duty: StdpDutyCycle::first_n_of_5000(250),
+        ..PathfinderConfig::default()
+    });
+    suites.push(measure(
+        "prefetcher.pathfinder.cached",
+        11,
+        steady_trace.len() as u64,
+        || {
+            let mut p = cached_kind.build(opts.seed);
+            black_box(generate_prefetches(p.as_mut(), black_box(&steady_trace), 2));
+        },
+    ));
+
     // --- End-to-end report cell (generate + replay + metrics), with the
     // --- telemetry the cell recorded attached to the document. -----------
     let e2e_trace = scenario.shared_trace(Workload::Sphinx);
@@ -207,17 +256,48 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
             .unwrap_or(f64::NAN)
     };
     let present32_speedup = median("snn.present32.reference") / median("snn.present32.event");
+    let pathfinder_cached_speedup =
+        median("prefetcher.pathfinder.steady") / median("prefetcher.pathfinder.cached");
 
     BenchReport {
         opts: *opts,
         suites,
         present32_speedup,
+        pathfinder_cached_speedup,
         telemetry,
     }
 }
 
+/// Pages visited with a repeating in-page delta pattern — the steady-state
+/// workload of the PR-4 acceptance figure. Pixel matrices repeat heavily
+/// across pages, so a duty-cycled prefetcher answers most inference-only
+/// accesses from the frozen-query prediction cache.
+fn steady_delta_trace(loads: usize) -> Trace {
+    const DELTAS: [u64; 2] = [2, 3];
+    let mut accesses = Vec::with_capacity(loads);
+    let mut id = 0u64;
+    let mut page = 100u64;
+    'outer: loop {
+        let mut off = 0u64;
+        loop {
+            accesses.push(MemoryAccess::new(id, 0x400, page * 4096 + off * 64));
+            id += 1;
+            if accesses.len() >= loads {
+                break 'outer;
+            }
+            let d = DELTAS[id as usize % DELTAS.len()];
+            if off + d >= 64 {
+                break;
+            }
+            off += d;
+        }
+        page += 1;
+    }
+    Trace::from_accesses(accesses)
+}
+
 impl BenchReport {
-    /// Renders the machine-readable JSON document (`BENCH_pr3.json`).
+    /// Renders the machine-readable JSON document (`BENCH_pr4.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\"schema\":");
@@ -248,6 +328,8 @@ impl BenchReport {
         }
         out.push_str("},\"derived\":{\"snn_present32_event_vs_reference_speedup\":");
         json::write_f64(&mut out, self.present32_speedup);
+        out.push_str(",\"pathfinder_cached_vs_steady_speedup\":");
+        json::write_f64(&mut out, self.pathfinder_cached_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -272,6 +354,10 @@ impl BenchReport {
         out.push_str(&format!(
             "\nSNN 32-tick presentation: event-driven kernel is {:.2}x the reference kernel\n",
             self.present32_speedup
+        ));
+        out.push_str(&format!(
+            "Steady-state deltas: duty-cycled cached prefetcher is {:.2}x the always-on one\n",
+            self.pathfinder_cached_speedup
         ));
         out
     }
@@ -386,16 +472,20 @@ mod tests {
         for expected in [
             "snn.present32.event",
             "snn.present32.reference",
+            "snn.present32.frozen",
             "snn.present1.event",
             "encode.pixel_matrix",
             "prefetcher.nextline",
             "prefetcher.pathfinder",
+            "prefetcher.pathfinder.steady",
+            "prefetcher.pathfinder.cached",
             "e2e.report_cell",
         ] {
             assert!(names.contains(&expected), "missing suite {expected}");
         }
         assert!(rep.suites.iter().all(|s| s.median_ns > 0.0));
         assert!(rep.present32_speedup.is_finite() && rep.present32_speedup > 0.0);
+        assert!(rep.pathfinder_cached_speedup.is_finite() && rep.pathfinder_cached_speedup > 0.0);
 
         let doc = json::parse(&rep.to_json()).expect("bench JSON parses");
         assert_eq!(
@@ -407,6 +497,11 @@ mod tests {
         assert!(doc
             .get("derived")
             .and_then(|d| d.get("snn_present32_event_vs_reference_speedup"))
+            .and_then(json::Value::as_f64)
+            .is_some());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("pathfinder_cached_vs_steady_speedup"))
             .and_then(json::Value::as_f64)
             .is_some());
 

@@ -3,6 +3,7 @@
 //! ML Prefetching Competition.
 
 use pathfinder_sim::{Block, MemoryAccess};
+use pathfinder_telemetry as telemetry;
 
 use crate::api::Prefetcher;
 
@@ -104,6 +105,7 @@ impl Prefetcher for BestOffsetPrefetcher {
     }
 
     fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        telemetry::counter!("prefetch.best_offset.lookups", 1);
         let x = access.block();
 
         // Learning: test the next candidate offset against the RR table.
@@ -127,13 +129,15 @@ impl Prefetcher for BestOffsetPrefetcher {
 
         self.rr_insert(x);
 
-        if self.active {
+        let out: Vec<Block> = if self.active {
             (1..=self.degree as i64)
                 .map(|k| x.offset_by(self.best_offset * k))
                 .collect()
         } else {
             Vec::new()
-        }
+        };
+        telemetry::counter!("prefetch.best_offset.issued", out.len() as u64);
+        out
     }
 }
 

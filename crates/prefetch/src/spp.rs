@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use pathfinder_sim::{Block, MemoryAccess, BLOCKS_PER_PAGE};
+use pathfinder_telemetry as telemetry;
 
 use crate::api::Prefetcher;
 
@@ -132,6 +133,7 @@ impl Prefetcher for SppPrefetcher {
     }
 
     fn on_access(&mut self, access: &MemoryAccess) -> Vec<Block> {
+        telemetry::counter!("prefetch.spp.lookups", 1);
         let block = access.block();
         let page = block.page();
         let offset = block.page_offset();
@@ -190,6 +192,7 @@ impl Prefetcher for SppPrefetcher {
             out.push(page.block_at(cur_offset as u8));
             cur_sig = Self::next_signature(cur_sig, delta);
         }
+        telemetry::counter!("prefetch.spp.issued", out.len() as u64);
         out
     }
 }

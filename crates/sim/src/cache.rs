@@ -1,7 +1,45 @@
 //! A set-associative cache with LRU replacement and prefetch-bit tracking.
 
+use pathfinder_telemetry as telemetry;
+
 use crate::addr::Block;
 use crate::config::CacheConfig;
+
+/// Which level of the hierarchy a [`Cache`] models; labels the cache's own
+/// telemetry so hit/miss counters are recorded where they happen instead of
+/// on-behalf by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// First-level data cache — records `sim.l1d.{hits,misses}`.
+    L1d,
+    /// Second-level cache — records `sim.l2.{hits,misses}`.
+    L2,
+    /// Last-level cache — records `sim.llc.{hits,misses}`.
+    Llc,
+    /// No level label; telemetry stays silent ([`Cache::new`] default for
+    /// standalone caches in tests and examples).
+    Unlabeled,
+}
+
+impl CacheLevel {
+    fn hit_metric(self) -> Option<&'static str> {
+        match self {
+            CacheLevel::L1d => Some("sim.l1d.hits"),
+            CacheLevel::L2 => Some("sim.l2.hits"),
+            CacheLevel::Llc => Some("sim.llc.hits"),
+            CacheLevel::Unlabeled => None,
+        }
+    }
+
+    fn miss_metric(self) -> Option<&'static str> {
+        match self {
+            CacheLevel::L1d => Some("sim.l1d.misses"),
+            CacheLevel::L2 => Some("sim.l2.misses"),
+            CacheLevel::Llc => Some("sim.llc.misses"),
+            CacheLevel::Unlabeled => None,
+        }
+    }
+}
 
 /// Outcome of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,28 +113,46 @@ pub struct CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    level: CacheLevel,
     sets: Vec<Vec<Line>>,
     stats: CacheStats,
     tick: u64,
 }
 
 impl Cache {
-    /// Creates an empty cache with the given geometry.
+    /// Creates an empty, unlabeled cache with the given geometry (no
+    /// telemetry). Simulator levels use [`Cache::labeled`].
     ///
     /// # Panics
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(config: CacheConfig) -> Self {
+        Cache::labeled(config, CacheLevel::Unlabeled)
+    }
+
+    /// Creates an empty cache that records `sim.<level>.{hits,misses}`
+    /// telemetry from inside [`Cache::demand_access`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn labeled(config: CacheConfig, level: CacheLevel) -> Self {
         assert!(
             config.sets > 0 && config.ways > 0,
             "cache must be non-empty"
         );
         Cache {
             config,
+            level,
             sets: vec![vec![Line::INVALID; config.ways]; config.sets],
             stats: CacheStats::default(),
             tick: 0,
         }
+    }
+
+    /// The hierarchy level this cache is labeled as.
+    pub fn level(&self) -> CacheLevel {
+        self.level
     }
 
     /// The configuration this cache was built with.
@@ -130,6 +186,9 @@ impl Cache {
                     self.stats.useful_prefetches += 1;
                 }
                 self.stats.hits += 1;
+                if let Some(metric) = self.level.hit_metric() {
+                    telemetry::counter!(metric, 1);
+                }
                 return LookupResult::Hit {
                     first_demand_to_prefetch: first,
                     fill_ready_cycle: line.fill_ready_cycle,
@@ -137,6 +196,9 @@ impl Cache {
             }
         }
         self.stats.misses += 1;
+        if let Some(metric) = self.level.miss_metric() {
+            telemetry::counter!(metric, 1);
+        }
         LookupResult::Miss
     }
 
@@ -323,6 +385,25 @@ mod tests {
         c.reset();
         assert_eq!(c.occupancy(), 0);
         assert_eq!(*c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn new_is_unlabeled_and_labeled_carries_its_level() {
+        assert_eq!(tiny().level(), CacheLevel::Unlabeled);
+        let c = Cache::labeled(CacheConfig::new(2, 2, 1), CacheLevel::Llc);
+        assert_eq!(c.level(), CacheLevel::Llc);
+        // Label choice never affects functional behaviour or stats.
+        let mut a = Cache::labeled(CacheConfig::new(2, 2, 1), CacheLevel::L1d);
+        let mut b = tiny();
+        for blk in [0u64, 2, 4, 0, 2] {
+            a.fill(Block(blk), false, 0);
+            b.fill(Block(blk), false, 0);
+            assert_eq!(
+                a.demand_access(Block(blk), 0),
+                b.demand_access(Block(blk), 0)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

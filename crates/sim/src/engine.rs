@@ -12,7 +12,7 @@ use pathfinder_telemetry as telemetry;
 
 use crate::access::{MemoryAccess, PrefetchRequest, Trace};
 use crate::addr::Block;
-use crate::cache::{Cache, LookupResult};
+use crate::cache::{Cache, CacheLevel, LookupResult};
 use crate::config::SimConfig;
 use crate::core::RobModel;
 use crate::dram::DramModel;
@@ -50,9 +50,9 @@ impl Simulator {
     pub fn new(config: SimConfig) -> Self {
         Simulator {
             config,
-            l1d: Cache::new(config.l1d),
-            l2: Cache::new(config.l2),
-            llc: Cache::new(config.llc),
+            l1d: Cache::labeled(config.l1d, CacheLevel::L1d),
+            l2: Cache::labeled(config.l2, CacheLevel::L2),
+            llc: Cache::labeled(config.llc, CacheLevel::Llc),
             dram: DramModel::new(config.dram),
             rob: RobModel::new(config.core),
             outstanding: BinaryHeap::new(),
@@ -224,23 +224,21 @@ impl Simulator {
             self.report.loads += 1;
         }
 
+        // The per-level hit/miss counters (`sim.<level>.{hits,misses}`) are
+        // recorded by the labeled caches themselves in `demand_access`.
         if let LookupResult::Hit { .. } = self.l1d.demand_access(block, issue) {
             if measuring {
                 self.report.l1d_hits += 1;
             }
-            telemetry::counter!("sim.l1d.hits", 1);
             return self.config.l1_hit_latency();
         }
-        telemetry::counter!("sim.l1d.misses", 1);
         if let LookupResult::Hit { .. } = self.l2.demand_access(block, issue) {
             if measuring {
                 self.report.l2_hits += 1;
             }
-            telemetry::counter!("sim.l2.hits", 1);
             self.l1d.fill(block, false, 0);
             return self.config.l2_hit_latency();
         }
-        telemetry::counter!("sim.l2.misses", 1);
 
         if measuring {
             self.report.llc_load_accesses += 1;
@@ -250,7 +248,6 @@ impl Simulator {
                 first_demand_to_prefetch,
                 fill_ready_cycle,
             } => {
-                telemetry::counter!("sim.llc.hits", 1);
                 if measuring {
                     self.report.llc_hits += 1;
                     if first_demand_to_prefetch {
@@ -271,7 +268,6 @@ impl Simulator {
                 self.config.llc_hit_latency().max(wait)
             }
             LookupResult::Miss => {
-                telemetry::counter!("sim.llc.misses", 1);
                 if measuring {
                     self.report.llc_misses += 1;
                 }

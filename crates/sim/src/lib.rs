@@ -47,7 +47,7 @@ pub mod stats;
 
 pub use access::{MemoryAccess, PrefetchRequest, Trace};
 pub use addr::{Addr, Block, Page, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
-pub use cache::{Cache, CacheStats, LookupResult};
+pub use cache::{Cache, CacheLevel, CacheStats, LookupResult};
 pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
 pub use core::RobModel;
 pub use dram::{DramModel, DramStats, RowOutcome};

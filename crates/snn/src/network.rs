@@ -70,6 +70,15 @@ pub(crate) struct PresentScratch {
     pub(crate) first_fire: Vec<Option<u32>>,
     /// Distinct firing neurons in first-fire order.
     pub(crate) fired_order: Vec<usize>,
+    /// Inference-repacked weight rows: the active inputs' rows gathered
+    /// into one contiguous matrix (frozen kernel only).
+    pub(crate) packed_weights: Vec<f32>,
+    /// Per-active-input spike probability, hoisted out of the tick loop
+    /// (frozen kernel only).
+    pub(crate) probs: Vec<f32>,
+    /// Theta snapshot taken before a frozen presentation and restored
+    /// after it, so inference leaves no persistent trace.
+    pub(crate) saved_theta: Vec<f32>,
 }
 
 impl PresentScratch {
@@ -126,6 +135,17 @@ pub struct DiehlCookNetwork {
     pub(crate) theta_decay: f32,
     /// Total input presentations so far.
     pub(crate) presentations: u64,
+    /// Monotonic version of the inference-relevant state (weights and
+    /// adaptive thresholds). Bumped by every presentation that may mutate
+    /// them — STDP, normalization, and theta adaptation all happen inside
+    /// such presentations — and left untouched by the pure frozen-inference
+    /// paths ([`DiehlCookNetwork::present_frozen`],
+    /// [`DiehlCookNetwork::present_one_tick`] with `learn == false`).
+    pub(crate) weight_version: u64,
+    /// Salt mixed into [`DiehlCookNetwork::frozen_query_seed`], derived
+    /// from the construction seed so same-seeded networks derive identical
+    /// per-query streams.
+    pub(crate) frozen_salt: u64,
     /// Reusable presentation buffers (see [`PresentScratch`]).
     pub(crate) scratch: PresentScratch,
     /// Reusable list of neurons with a live post trace, rebuilt each STDP
@@ -161,6 +181,8 @@ impl DiehlCookNetwork {
             trace_decay: (-1.0 / cfg.stdp.tc_trace).exp(),
             theta_decay: (-1.0 / cfg.tc_theta_decay).exp(),
             presentations: 0,
+            weight_version: 0,
+            frozen_salt: splitmix64(seed ^ 0xF0E1_D2C3_B4A5_9687),
             scratch: PresentScratch::default(),
             hot_posts: Vec::new(),
             cfg,
@@ -177,6 +199,43 @@ impl DiehlCookNetwork {
     /// Input presentations processed so far.
     pub fn presentations(&self) -> u64 {
         self.presentations
+    }
+
+    /// Monotonic version of the inference-relevant state (weights plus
+    /// adaptive thresholds). Any presentation that may update that state —
+    /// STDP weight updates, normalization, theta bumps/decay — increments
+    /// it; the pure inference paths ([`DiehlCookNetwork::present_frozen`]
+    /// and [`DiehlCookNetwork::present_one_tick`] with `learn == false`)
+    /// leave it unchanged. Callers memoizing query results key their cache
+    /// validity on this value.
+    pub fn weight_version(&self) -> u64 {
+        self.weight_version
+    }
+
+    /// The RNG seed a [`DiehlCookNetwork::present_frozen`] call for `rates`
+    /// derives its private spike-sampling stream from: a pure hash of the
+    /// construction-seed salt, the current [`weight_version`], and the
+    /// active pixel intensities. Exposed so equivalence tests can align a
+    /// reference network's generator (via
+    /// [`DiehlCookNetwork::reseed_rng`]) with the frozen kernel's stream.
+    ///
+    /// [`weight_version`]: DiehlCookNetwork::weight_version
+    pub fn frozen_query_seed(&self, rates: &[f32]) -> u64 {
+        let mut h = self.frozen_salt ^ splitmix64(self.weight_version);
+        for (i, &r) in rates.iter().enumerate() {
+            if r > 0.0 {
+                h = splitmix64(h ^ (((i as u64) << 32) | r.to_bits() as u64));
+            }
+        }
+        splitmix64(h)
+    }
+
+    /// Replaces the presentation RNG with a freshly seeded one. Only used
+    /// by equivalence tests to put a reference network's generator in
+    /// lockstep with the derived per-query stream of
+    /// [`DiehlCookNetwork::present_frozen`]; production paths never reseed.
+    pub fn reseed_rng(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Borrow of the input→excitatory weight matrix (input-major).
@@ -236,6 +295,10 @@ impl DiehlCookNetwork {
             "rates length must equal n_input"
         );
         self.presentations += 1;
+        // Theta adapts below (decay plus per-spike bumps) even when `learn`
+        // is false, so every pass through this kernel invalidates memoized
+        // frozen-query results.
+        self.weight_version = self.weight_version.wrapping_add(1);
         let _present_span = telemetry::timer!("snn.present");
         let mut input_spike_total = 0u64;
         let mut stdp_updates = 0u64;
@@ -590,6 +653,7 @@ impl DiehlCookNetwork {
         let winner = argmax_f32(&scores);
         self.scratch.drive_scores = scores;
         if learn {
+            self.weight_version = self.weight_version.wrapping_add(1);
             // One presentation stands for a full input interval: decay theta
             // by the same amount the tick-by-tick path would.
             self.exc
@@ -606,6 +670,164 @@ impl DiehlCookNetwork {
         }
         winner
     }
+
+    /// Frozen-weight inference: a full `ticks`-long stochastic presentation
+    /// that is a *pure function* of `rates` and the current
+    /// [`weight_version`], so callers can memoize its outcome exactly.
+    ///
+    /// Purity is obtained by (a) sampling input spikes from a private
+    /// generator seeded with [`DiehlCookNetwork::frozen_query_seed`]
+    /// instead of consuming the shared presentation RNG, and (b) running
+    /// the intra-interval theta dynamics on a snapshot that is restored
+    /// before returning — a duty-cycled off-phase (§3.5, Figure 8) freezes
+    /// *all* adaptation, thresholds included. No STDP, eligibility-trace,
+    /// or normalization bookkeeping runs at all.
+    ///
+    /// The kernel also re-packs the weight layout for inference: the active
+    /// inputs' weight rows are gathered once into a contiguous matrix and
+    /// their spike probabilities hoisted out of the tick loop, so each tick
+    /// touches only cache-dense per-active-input column slices.
+    ///
+    /// Spike structure agrees exactly with
+    /// [`DiehlCookNetwork::present_reference`] run with `learn == false`
+    /// from the same weights/theta and an RNG reseeded to the derived
+    /// query seed (pinned by `tests/kernel_equivalence.rs`).
+    ///
+    /// [`weight_version`]: DiehlCookNetwork::weight_version
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != n_input`.
+    pub fn present_frozen(&mut self, rates: &[f32]) -> RunOutcome {
+        assert_eq!(
+            rates.len(),
+            self.cfg.n_input,
+            "rates length must equal n_input"
+        );
+        self.presentations += 1;
+        let _present_span = telemetry::timer!("snn.present");
+        let mut input_spike_total = 0u64;
+        self.exc.reset_state();
+        self.inh.reset_state();
+
+        let n_exc = self.cfg.n_exc;
+        let mut s = std::mem::take(&mut self.scratch);
+        s.reset(n_exc);
+        let mut first_fire_tick: Option<u32> = None;
+
+        self.encoder.active_inputs(rates, &mut s.active_inputs);
+        self.expected_drive_scores_into(rates, &mut s.drive_scores);
+        let first_tick_argmax = argmax_f32(&s.drive_scores);
+
+        // Inference re-pack: contiguous weight rows and hoisted spike
+        // probabilities for just the active inputs. Row `a` of the packed
+        // matrix is the weight row of active input `a`, so the tick loop
+        // never strides through the full n_input-major matrix.
+        let max_rate = self.encoder.max_rate();
+        s.packed_weights.clear();
+        s.probs.clear();
+        for &i in &s.active_inputs {
+            s.packed_weights
+                .extend_from_slice(&self.weights[i * n_exc..(i + 1) * n_exc]);
+            s.probs.push((rates[i] * max_rate).min(1.0));
+        }
+
+        // Frozen contract: intra-interval theta dynamics run on a snapshot
+        // restored before returning, and spike sampling uses a private
+        // stream derived from the query itself.
+        self.exc.save_thetas_into(&mut s.saved_theta);
+        let mut rng = StdRng::seed_from_u64(self.frozen_query_seed(rates));
+
+        let gain = self.cfg.input_gain;
+        let inh_strength = self.cfg.inh_strength;
+
+        for tick in 0..self.cfg.ticks {
+            // Sample active-input spikes; `input_spikes` holds *active
+            // positions* (indices into the packed matrix), drawn in the
+            // same ascending order — and with the same one-draw-per-active
+            // consumption — as the other kernels.
+            s.input_spikes.clear();
+            for (a, &p) in s.probs.iter().enumerate() {
+                if rng.gen_range(0.0f32..1.0) < p {
+                    s.input_spikes.push(a);
+                }
+            }
+
+            if !s.input_spikes.is_empty() {
+                s.drive.fill(0.0);
+                for &a in &s.input_spikes {
+                    let row = &s.packed_weights[a * n_exc..(a + 1) * n_exc];
+                    for (d, &w) in s.drive.iter_mut().zip(row) {
+                        *d += w;
+                    }
+                }
+                self.exc.inject_all(&s.drive, gain);
+            }
+
+            self.exc.step(&mut s.exc_spikes);
+            self.exc.decay_theta_by(self.theta_decay);
+
+            if !s.exc_spikes.is_empty() {
+                self.exc
+                    .inject_uniform(-(s.exc_spikes.len() as f32) * inh_strength);
+                for &j in &s.exc_spikes {
+                    self.exc.inject(j, inh_strength);
+                    self.inh.inject(j, self.cfg.exc_strength);
+                }
+            }
+            self.inh.step(&mut s.inh_spikes);
+
+            for &j in &s.exc_spikes {
+                s.spike_counts[j] += 1;
+                if s.first_fire[j].is_none() {
+                    s.first_fire[j] = Some(tick);
+                    s.fired_order.push(j);
+                }
+                first_fire_tick.get_or_insert(tick);
+                self.exc.bump_theta(j, self.cfg.theta_plus);
+            }
+            if telemetry::enabled() {
+                input_spike_total += s.input_spikes.len() as u64;
+            }
+        }
+
+        let winner = Self::pick_winner(&s.spike_counts, &s.first_fire, &s.drive_scores);
+        let runner_up_potential = self.runner_up_potential(winner);
+
+        // Restore the pre-presentation thresholds: a frozen query leaves no
+        // persistent state behind (weight_version stays put).
+        self.exc.restore_thetas(&s.saved_theta);
+
+        if telemetry::enabled() {
+            telemetry::counter!("snn.presentations", 1);
+            telemetry::counter!("snn.frozen.presentations", 1);
+            telemetry::counter!(
+                "snn.exc.spikes",
+                s.spike_counts.iter().map(|&c| c as u64).sum::<u64>()
+            );
+            telemetry::counter!("snn.input.spikes", input_spike_total);
+        }
+
+        let outcome = RunOutcome {
+            spike_counts: s.spike_counts.clone(),
+            winner,
+            fired: s.fired_order.clone(),
+            first_fire_tick,
+            first_tick_argmax,
+            runner_up_potential,
+        };
+        self.scratch = s;
+        outcome
+    }
+}
+
+/// SplitMix64's finalizer-style mixing step; used to derive frozen-query
+/// seeds deterministically without touching the shared RNG.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Index of the maximum value (first on exact ties).
@@ -855,6 +1077,58 @@ mod tests {
             }
         }
         assert!(saw_winner, "the lone neuron should fire at least once");
+    }
+
+    #[test]
+    fn weight_version_tracks_state_mutations() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 5).unwrap();
+        let rates = pattern(&[1, 12, 23], 24);
+        assert_eq!(net.weight_version(), 0);
+        net.present(&rates, true);
+        assert_eq!(net.weight_version(), 1);
+        // Theta adapts even without STDP, so a no-learn presentation still
+        // invalidates frozen-query memoization.
+        net.present(&rates, false);
+        assert_eq!(net.weight_version(), 2);
+        net.present_reference(&rates, false);
+        assert_eq!(net.weight_version(), 3);
+        net.present_one_tick(&rates, true);
+        assert_eq!(net.weight_version(), 4);
+        // The pure inference paths leave the version alone.
+        net.present_one_tick(&rates, false);
+        net.present_frozen(&rates);
+        assert_eq!(net.weight_version(), 4);
+    }
+
+    #[test]
+    fn frozen_presentation_is_pure_and_repeatable() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 8).unwrap();
+        let rates = pattern(&[2, 10, 19], 24);
+        for _ in 0..4 {
+            net.present(&rates, true);
+        }
+        let weights = net.weights().to_vec();
+        let thetas = net.exc.thetas().to_vec();
+        let a = net.present_frozen(&rates);
+        let b = net.present_frozen(&rates);
+        assert_eq!(a, b, "identical queries must yield identical outcomes");
+        assert_eq!(net.weights(), &weights[..], "weights untouched");
+        assert_eq!(net.exc.thetas(), &thetas[..], "thetas restored");
+    }
+
+    #[test]
+    fn frozen_seed_depends_on_input_and_version() {
+        let mut net = DiehlCookNetwork::new(small_cfg(), 12).unwrap();
+        let r1 = pattern(&[1, 2, 3], 24);
+        let r2 = pattern(&[1, 2, 4], 24);
+        assert_ne!(net.frozen_query_seed(&r1), net.frozen_query_seed(&r2));
+        let s0 = net.frozen_query_seed(&r1);
+        net.present(&r1, true);
+        assert_ne!(
+            net.frozen_query_seed(&r1),
+            s0,
+            "a new weight version derives a fresh stream"
+        );
     }
 
     #[test]

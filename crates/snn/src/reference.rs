@@ -44,6 +44,8 @@ impl DiehlCookNetwork {
             "rates length must equal n_input"
         );
         self.presentations += 1;
+        // Theta adapts even without learning; see `present_inner`.
+        self.weight_version = self.weight_version.wrapping_add(1);
         let _present_span = telemetry::timer!("snn.present");
         let mut input_spike_total = 0u64;
         let mut stdp_updates = 0u64;

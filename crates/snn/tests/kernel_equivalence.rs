@@ -134,4 +134,107 @@ proptest! {
         prop_assert_eq!(event.weights(), &frozen[..]);
         prop_assert_eq!(reference.weights(), &frozen[..]);
     }
+
+    /// The frozen-inference kernel (`present_frozen`) pins against the
+    /// reference kernel with learning disabled: train two networks in
+    /// lockstep through the *same* kernel (bit-identical state), then align
+    /// the reference's shared RNG with the frozen kernel's derived
+    /// per-query stream — winner, fired order, and spike counts must agree
+    /// exactly. The frozen network's persistent state (weights, derived
+    /// query seed, weight version, repeat outcomes) must be untouched.
+    #[test]
+    fn frozen_kernel_agrees_with_reference_without_learning(
+        seed in 0u64..1_000,
+        n_exc in 1usize..10,
+        pattern in prop::collection::vec(0usize..16, 1..5),
+        train_rounds in 0usize..4,
+        intensity_pct in 30u32..100,
+    ) {
+        let cfg = small_cfg(16, n_exc, 17.5);
+        let mut frozen = DiehlCookNetwork::new(cfg, seed).unwrap();
+        let mut reference = DiehlCookNetwork::new(cfg, seed).unwrap();
+
+        let mut rates = vec![0.0f32; 16];
+        for &i in &pattern {
+            rates[i] = intensity_pct as f32 / 100.0;
+        }
+
+        // Lockstep training through one kernel keeps the two networks
+        // bit-identical (same seed, same draws, same arithmetic) — so the
+        // comparison below starts from genuinely trained, equal state.
+        for _ in 0..train_rounds {
+            frozen.present_reference(&rates, true);
+            reference.present_reference(&rates, true);
+        }
+
+        let weights_before = frozen.weights().to_vec();
+        let version_before = frozen.weight_version();
+        let seed_before = frozen.frozen_query_seed(&rates);
+
+        // The reference run mutates theta; compare against a clone per
+        // round so every round starts from the shared trained state.
+        let reference_base = reference.clone();
+        for round in 0..2 {
+            let mut reference = reference_base.clone();
+            reference.reseed_rng(frozen.frozen_query_seed(&rates));
+            let a = frozen.present_frozen(&rates);
+            let b = reference.present_reference(&rates, false);
+            prop_assert_eq!(
+                a.spike_counts.clone(), b.spike_counts.clone(),
+                "spike counts diverged in round {}", round
+            );
+            prop_assert_eq!(a.winner, b.winner, "winner diverged in round {}", round);
+            prop_assert_eq!(
+                a.fired.clone(), b.fired.clone(),
+                "fired order diverged in round {}", round
+            );
+            prop_assert_eq!(
+                a.first_fire_tick, b.first_fire_tick,
+                "first-fire tick diverged in round {}", round
+            );
+            prop_assert_eq!(
+                a.first_tick_argmax, b.first_tick_argmax,
+                "1-tick argmax diverged in round {}", round
+            );
+        }
+
+        // Purity: the frozen queries left no persistent trace behind.
+        prop_assert_eq!(frozen.weights(), &weights_before[..]);
+        prop_assert_eq!(frozen.weight_version(), version_before);
+        prop_assert_eq!(frozen.frozen_query_seed(&rates), seed_before);
+    }
+
+    /// `present_frozen` also matches the production event-driven kernel run
+    /// with `learn == false` on the same derived stream — the frozen path
+    /// differs only in where the RNG comes from and in restoring theta.
+    #[test]
+    fn frozen_kernel_agrees_with_event_kernel(
+        seed in 0u64..1_000,
+        n_exc in 1usize..10,
+        pattern in prop::collection::vec(0usize..16, 1..5),
+    ) {
+        let cfg = small_cfg(16, n_exc, 17.5);
+        let mut frozen = DiehlCookNetwork::new(cfg, seed).unwrap();
+        let mut event = DiehlCookNetwork::new(cfg, seed).unwrap();
+
+        let mut rates = vec![0.0f32; 16];
+        for &i in &pattern {
+            rates[i] = 1.0;
+        }
+
+        event.reseed_rng(frozen.frozen_query_seed(&rates));
+        let a = frozen.present_frozen(&rates);
+        let b = event.present(&rates, false);
+        prop_assert_eq!(a.spike_counts, b.spike_counts);
+        prop_assert_eq!(a.winner, b.winner);
+        prop_assert_eq!(a.fired, b.fired);
+        prop_assert_eq!(a.first_fire_tick, b.first_fire_tick);
+        prop_assert_eq!(a.first_tick_argmax, b.first_tick_argmax);
+        prop_assert!(
+            (a.runner_up_potential - b.runner_up_potential).abs()
+                <= ANALOG_TOL * b.runner_up_potential.abs().max(1.0),
+            "runner-up potential outside fp tolerance: {} vs {}",
+            a.runner_up_potential, b.runner_up_potential
+        );
+    }
 }

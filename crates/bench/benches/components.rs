@@ -10,7 +10,8 @@ use pathfinder_prefetch::{
     SisbPrefetcher, SppPrefetcher,
 };
 use pathfinder_sim::{
-    Block, Cache, CacheConfig, CoreConfig, DramConfig, DramModel, RobModel, SimConfig, Simulator,
+    Block, Cache, CacheConfig, CoreConfig, DramConfig, DramModel, MemoryAccess, PrefetchRequest,
+    ReferenceSimulator, RobModel, SimConfig, Simulator, Trace,
 };
 use pathfinder_snn::DiehlCookNetwork;
 
@@ -187,6 +188,56 @@ fn simulator_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flat-layout replay engine vs the retained reference engine
+/// (`pathfinder_sim::reference`) on three access-pattern extremes. The two
+/// engines produce bit-identical reports on every input (pinned by the
+/// sim crate's `engine_equivalence` suite), so the per-pattern ratio is a
+/// pure data-layout measurement.
+fn sim_replay(c: &mut Criterion) {
+    const LOADS: u64 = 30_000;
+    // Demand-heavy: scattered blocks, almost every load misses to DRAM.
+    let demand_trace: Trace = (0..LOADS)
+        .map(|i| {
+            let x = (i + 1).wrapping_mul(6364136223846793005);
+            MemoryAccess::new(i * 4, 0x400, (x >> 24) << 6)
+        })
+        .collect();
+    // Prefetch-heavy: a streaming trace with a dense next-line schedule.
+    let stream_trace: Trace = (0..LOADS)
+        .map(|i| MemoryAccess::new(i * 4, 0x400, 0x10_0000 + i * 64))
+        .collect();
+    let stream_schedule: Vec<PrefetchRequest> = stream_trace
+        .accesses()
+        .windows(2)
+        .map(|w| PrefetchRequest::new(w[0].instr_id, w[1].block()))
+        .collect();
+    // Pointer-chasing: every load depends on the previous one, serializing
+    // the replay through `prev_completion` and the MSHR tracker.
+    let chase_trace: Trace = (0..LOADS)
+        .map(|i| {
+            let x = (i + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            MemoryAccess::new(i * 4, 0x400, (x >> 28) << 6).dependent()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("sim_replay");
+    group.sample_size(10);
+    let cases: [(&str, &Trace, &[PrefetchRequest]); 3] = [
+        ("demand_heavy", &demand_trace, &[]),
+        ("prefetch_heavy", &stream_trace, &stream_schedule),
+        ("pointer_chasing", &chase_trace, &[]),
+    ];
+    for (name, trace, schedule) in cases {
+        group.bench_function(format!("flat/{name}"), |b| {
+            b.iter(|| Simulator::new(SimConfig::default()).run(trace, schedule))
+        });
+        group.bench_function(format!("reference/{name}"), |b| {
+            b.iter(|| ReferenceSimulator::new(SimConfig::default()).run(trace, schedule))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     components,
     cache_ops,
@@ -195,6 +246,7 @@ criterion_group!(
     snn_present,
     pixel_encoding,
     prefetcher_generation,
-    simulator_replay
+    simulator_replay,
+    sim_replay
 );
 criterion_main!(components);

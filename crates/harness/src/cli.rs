@@ -22,7 +22,7 @@
 //!          and run_report.md next to the working directory)
 //!   bench  perf micro-suite: SNN presentation kernels, encoding,
 //!          per-prefetcher per-access cost, one end-to-end report cell.
-//!          Writes BENCH_pr4.json (override with --bench-out). With
+//!          Writes BENCH_pr5.json (override with --bench-out). With
 //!          --baseline <json> the run becomes a gate: exits nonzero when
 //!          any suite's median regressed more than --threshold percent
 //!          (default 40) versus the baseline document.
@@ -62,7 +62,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
     let mut baseline: Option<String> = None;
     let mut threshold = 40.0f64;
-    let mut bench_out = String::from("BENCH_pr4.json");
+    let mut bench_out = String::from("BENCH_pr5.json");
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;

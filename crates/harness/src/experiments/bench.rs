@@ -4,10 +4,12 @@
 //! cares about (SNN presentation 32-tick event-driven vs the retained
 //! reference kernel, the frozen-weight inference kernel, the 1-tick
 //! readout, pixel encoding, per-prefetcher per-access cost, the
-//! duty-cycled cached vs always-on steady-state pair, and one end-to-end
-//! report cell), then emits the results as `BENCH_pr4.json`: suite →
-//! median ns/op + throughput, plus a telemetry snapshot of the
-//! end-to-end cell.
+//! duty-cycled cached vs always-on steady-state pair, the flat-layout
+//! timed replay vs the retained reference engine
+//! (`sim.replay.{demand,prefetch,e2e}` plus `sim.replay.e2e.reference`),
+//! and one end-to-end report cell), then emits the results as
+//! `BENCH_pr5.json`: suite → median ns/op + throughput, plus a telemetry
+//! snapshot of the end-to-end cell.
 //!
 //! With `--baseline <json>` the run becomes a *gate*: each suite's median
 //! is compared against the checked-in baseline (`benches/baseline.json`)
@@ -25,7 +27,7 @@ use std::time::Instant;
 
 use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder, StdpDutyCycle};
 use pathfinder_prefetch::generate_prefetches;
-use pathfinder_sim::{MemoryAccess, Trace};
+use pathfinder_sim::{MemoryAccess, ReferenceSimulator, Simulator, Trace};
 use pathfinder_snn::DiehlCookNetwork;
 use pathfinder_telemetry::{json, Snapshot};
 use pathfinder_traces::Workload;
@@ -87,6 +89,10 @@ pub struct BenchReport {
     /// always-on one on the steady repeating-delta trace (the PR-4
     /// acceptance figure; target ≥ 5x).
     pub pathfinder_cached_speedup: f64,
+    /// Median-speedup of the flat-layout replay engine over the retained
+    /// reference engine on the end-to-end report cell's trace and schedule
+    /// (the PR-5 acceptance figure; target ≥ 1.3x).
+    pub sim_replay_speedup: f64,
     /// Telemetry snapshot of one end-to-end report cell (empty when the
     /// harness is built without the `telemetry` feature).
     pub telemetry: Snapshot,
@@ -97,23 +103,44 @@ pub struct BenchReport {
 /// per-operation statistics. Each sample may batch multiple calls of `f`
 /// so that it lasts long enough for the clock to resolve.
 fn measure<F: FnMut()>(name: &'static str, samples: usize, ops: u64, mut f: F) -> SuiteResult {
-    // Calibrate: make each timed sample last ~2 ms (or one call, whichever
-    // is longer) so short operations aren't dominated by clock granularity.
+    let calls_per_sample = calibrate(&mut f);
+    let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        per_op.push(time_batch(&mut f, calls_per_sample, ops));
+    }
+    suite_from_samples(name, per_op, calls_per_sample * ops)
+}
+
+/// Each timed sample should last ~2 ms (or one call, whichever is longer)
+/// so short operations aren't dominated by clock granularity.
+const TARGET_SAMPLE_NS: u64 = 2_000_000;
+
+/// Runs `f` once (warmup) and returns how many calls a timed sample needs
+/// to reach [`TARGET_SAMPLE_NS`].
+fn calibrate<F: FnMut()>(f: &mut F) -> u64 {
     let t0 = Instant::now();
     f();
     let once_ns = (t0.elapsed().as_nanos() as u64).max(1);
-    const TARGET_SAMPLE_NS: u64 = 2_000_000;
-    let calls_per_sample = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000);
+    (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000)
+}
 
-    let mut per_op: Vec<f64> = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let t = Instant::now();
-        for _ in 0..calls_per_sample {
-            f();
-        }
-        let ns = t.elapsed().as_nanos() as f64;
-        per_op.push(ns / (calls_per_sample * ops) as f64);
+/// Times one sample of `calls` invocations of `f` and returns ns per
+/// operation, where each call performs `ops` operations.
+fn time_batch<F: FnMut()>(f: &mut F, calls: u64, ops: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..calls {
+        f();
     }
+    t.elapsed().as_nanos() as f64 / (calls * ops) as f64
+}
+
+/// Folds raw per-op samples into a [`SuiteResult`].
+fn suite_from_samples(
+    name: &'static str,
+    mut per_op: Vec<f64>,
+    ops_per_sample: u64,
+) -> SuiteResult {
+    let samples = per_op.len();
     per_op.sort_by(f64::total_cmp);
     let median_ns = per_op[per_op.len() / 2];
     let mean_ns = per_op.iter().sum::<f64>() / per_op.len() as f64;
@@ -128,8 +155,46 @@ fn measure<F: FnMut()>(name: &'static str, samples: usize, ops: u64, mut f: F) -
             0.0
         },
         samples,
-        ops_per_sample: calls_per_sample * ops,
+        ops_per_sample,
     }
+}
+
+/// Times two workloads in interleaved rounds — `a` then `b` within every
+/// round — and returns their suite statistics plus the median of the
+/// per-round `b`/`a` time ratios.
+///
+/// The paired ratio is the point: on a contended host the two sides of a
+/// round run under (nearly) the same interference epoch, so dividing
+/// within the round cancels machine-speed drift that dividing two
+/// independently measured medians would fold straight into a derived
+/// speedup. Used for the report's flat-vs-reference replay figure.
+fn measure_ratio<A: FnMut(), B: FnMut()>(
+    name_a: &'static str,
+    name_b: &'static str,
+    samples: usize,
+    ops: u64,
+    mut a: A,
+    mut b: B,
+) -> (SuiteResult, SuiteResult, f64) {
+    let calls_a = calibrate(&mut a);
+    let calls_b = calibrate(&mut b);
+    let mut per_op_a: Vec<f64> = Vec::with_capacity(samples);
+    let mut per_op_b: Vec<f64> = Vec::with_capacity(samples);
+    let mut ratios: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let pa = time_batch(&mut a, calls_a, ops);
+        let pb = time_batch(&mut b, calls_b, ops);
+        per_op_a.push(pa);
+        per_op_b.push(pb);
+        ratios.push(if pa > 0.0 { pb / pa } else { f64::NAN });
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    (
+        suite_from_samples(name_a, per_op_a, calls_a * ops),
+        suite_from_samples(name_b, per_op_b, calls_b * ops),
+        ratio,
+    )
 }
 
 /// Runs the full micro-suite at the given scale.
@@ -229,6 +294,66 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         },
     ));
 
+    // --- Timed replay: flat engine vs the retained reference engine. ------
+    // Same trace and schedule through both engines; they produce
+    // bit-identical reports (pinned by `sim/tests/engine_equivalence.rs`),
+    // so the median ratio below isolates the flat layout's win. The demand
+    // suite replays the scattered Mcf trace with no schedule (miss-heavy,
+    // DRAM-bound); the prefetch suite replays the steady delta trace under
+    // a dense next-line schedule (probe/fill-heavy); the e2e pair replays
+    // the exact trace + schedule of the report cell measured below.
+    suites.push(measure(
+        "sim.replay.demand",
+        11,
+        micro_trace.len() as u64,
+        || {
+            black_box(Simulator::new(scenario.sim).run(black_box(&micro_trace), &[]));
+        },
+    ));
+    let steady_schedule = {
+        let mut p = PrefetcherKind::NextLine.build(opts.seed);
+        generate_prefetches(p.as_mut(), &steady_trace, scenario.sim.max_prefetch_degree)
+    };
+    suites.push(measure(
+        "sim.replay.prefetch",
+        11,
+        steady_trace.len() as u64,
+        || {
+            black_box(
+                Simulator::new(scenario.sim)
+                    .run(black_box(&steady_trace), black_box(&steady_schedule)),
+            );
+        },
+    ));
+    let replay_trace = scenario.shared_trace(Workload::Sphinx);
+    let replay_schedule = {
+        let mut p = PrefetcherKind::NextLine.build(opts.seed);
+        generate_prefetches(p.as_mut(), &replay_trace, scenario.sim.max_prefetch_degree)
+    };
+    // The e2e pair is measured in interleaved rounds (flat then reference
+    // within each round) so the derived speedup is a median of *paired*
+    // ratios — robust to machine-speed drift between the two cells.
+    let (flat_e2e, ref_e2e, replay_ratio) = measure_ratio(
+        "sim.replay.e2e",
+        "sim.replay.e2e.reference",
+        15,
+        replay_trace.len() as u64,
+        || {
+            black_box(
+                Simulator::new(scenario.sim)
+                    .run(black_box(&replay_trace), black_box(&replay_schedule)),
+            );
+        },
+        || {
+            black_box(
+                ReferenceSimulator::new(scenario.sim)
+                    .run(black_box(&replay_trace), black_box(&replay_schedule)),
+            );
+        },
+    );
+    suites.push(flat_e2e);
+    suites.push(ref_e2e);
+
     // --- End-to-end report cell (generate + replay + metrics), with the
     // --- telemetry the cell recorded attached to the document. -----------
     let e2e_trace = scenario.shared_trace(Workload::Sphinx);
@@ -258,12 +383,14 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     let present32_speedup = median("snn.present32.reference") / median("snn.present32.event");
     let pathfinder_cached_speedup =
         median("prefetcher.pathfinder.steady") / median("prefetcher.pathfinder.cached");
+    let sim_replay_speedup = replay_ratio;
 
     BenchReport {
         opts: *opts,
         suites,
         present32_speedup,
         pathfinder_cached_speedup,
+        sim_replay_speedup,
         telemetry,
     }
 }
@@ -297,7 +424,7 @@ fn steady_delta_trace(loads: usize) -> Trace {
 }
 
 impl BenchReport {
-    /// Renders the machine-readable JSON document (`BENCH_pr4.json`).
+    /// Renders the machine-readable JSON document (`BENCH_pr5.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\"schema\":");
@@ -330,6 +457,8 @@ impl BenchReport {
         json::write_f64(&mut out, self.present32_speedup);
         out.push_str(",\"pathfinder_cached_vs_steady_speedup\":");
         json::write_f64(&mut out, self.pathfinder_cached_speedup);
+        out.push_str(",\"sim_replay_flat_vs_reference_speedup\":");
+        json::write_f64(&mut out, self.sim_replay_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -358,6 +487,10 @@ impl BenchReport {
         out.push_str(&format!(
             "Steady-state deltas: duty-cycled cached prefetcher is {:.2}x the always-on one\n",
             self.pathfinder_cached_speedup
+        ));
+        out.push_str(&format!(
+            "Timed replay (e2e cell): flat engine is {:.2}x the reference engine\n",
+            self.sim_replay_speedup
         ));
         out
     }
@@ -479,6 +612,10 @@ mod tests {
             "prefetcher.pathfinder",
             "prefetcher.pathfinder.steady",
             "prefetcher.pathfinder.cached",
+            "sim.replay.demand",
+            "sim.replay.prefetch",
+            "sim.replay.e2e",
+            "sim.replay.e2e.reference",
             "e2e.report_cell",
         ] {
             assert!(names.contains(&expected), "missing suite {expected}");
@@ -486,6 +623,7 @@ mod tests {
         assert!(rep.suites.iter().all(|s| s.median_ns > 0.0));
         assert!(rep.present32_speedup.is_finite() && rep.present32_speedup > 0.0);
         assert!(rep.pathfinder_cached_speedup.is_finite() && rep.pathfinder_cached_speedup > 0.0);
+        assert!(rep.sim_replay_speedup.is_finite() && rep.sim_replay_speedup > 0.0);
 
         let doc = json::parse(&rep.to_json()).expect("bench JSON parses");
         assert_eq!(
@@ -502,6 +640,11 @@ mod tests {
         assert!(doc
             .get("derived")
             .and_then(|d| d.get("pathfinder_cached_vs_steady_speedup"))
+            .and_then(json::Value::as_f64)
+            .is_some());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("sim_replay_flat_vs_reference_speedup"))
             .and_then(json::Value::as_f64)
             .is_some());
 

@@ -44,18 +44,25 @@ impl RobModel {
 
     /// Cycle at which instruction `instr_id` retired, interpolated between
     /// load retirements at the core width.
-    fn retire_cycle_of(&self, instr_id: u64) -> u64 {
-        // Find the most recent retired load at or before instr_id.
-        let mut best: Option<(u64, u64)> = None;
-        for &(id, cyc) in self.retired.iter().rev() {
-            if id <= instr_id {
-                best = Some((id, cyc));
-                break;
-            }
+    ///
+    /// Queries arrive with monotonically non-decreasing `instr_id` (each is
+    /// `load_id - rob_size` for loads fed in trace order — the documented
+    /// calling contract), so the answer is always at the *front* of the
+    /// retirement history: entries that a query has stepped past can never
+    /// be the "most recent retirement at or before" any later query. The
+    /// scan therefore prunes from the front as it goes, and each retired
+    /// load is examined O(1) times across the whole replay — the engine's
+    /// per-access cost no longer carries an O(rob_size / load_gap) walk.
+    fn retire_cycle_of(&mut self, instr_id: u64) -> u64 {
+        // Drop entries whose successor also answers this (and thus every
+        // later) query; the front is then the most recent retirement at or
+        // before `instr_id`, if any retirement qualifies at all.
+        while self.retired.len() > 1 && self.retired[1].0 <= instr_id {
+            self.retired.pop_front();
         }
-        match best {
-            Some((id, cyc)) => cyc + (instr_id - id) / self.config.width,
-            None => 0,
+        match self.retired.front() {
+            Some(&(id, cyc)) if id <= instr_id => cyc + (instr_id - id) / self.config.width,
+            _ => 0,
         }
     }
 

@@ -46,6 +46,13 @@ pub struct DramStats {
 
 /// The DRAM subsystem.
 ///
+/// The bank array and the in-flight read queue are both bounded by
+/// construction: banks are fixed at `total_banks()`, and the queue is
+/// preallocated to `read_queue_size` slots and can never hold more (a
+/// request arriving at a full queue waits for the oldest in-flight read to
+/// drain before it is enqueued). Like the flat cache and MSHR tracker, the
+/// model therefore allocates nothing after construction.
+///
 /// # Examples
 ///
 /// ```
@@ -63,8 +70,32 @@ pub struct DramModel {
     banks: Vec<Bank>,
     /// Completion cycles of in-flight reads, bounded by `read_queue_size`.
     inflight: Vec<u64>,
+    /// Smallest in-flight completion cycle (`u64::MAX` when empty): lets
+    /// the per-request queue drain early-exit with one compare.
+    inflight_earliest: u64,
+    /// `row_bytes / BLOCK_SIZE`, precomputed off the request path.
+    blocks_per_row: u64,
+    /// `total_banks()`, precomputed off the request path.
+    total_banks: u64,
+    /// Shift equivalent of dividing by `blocks_per_row` (power-of-two
+    /// geometries — the Table 3 defaults are); `None` falls back to
+    /// division with identical results.
+    row_shift: Option<u32>,
+    /// Shift/mask equivalent of dividing by `total_banks`.
+    bank_shift: Option<u32>,
     bus_free_at: u64,
     stats: DramStats,
+    /// Per-depth occupancy tally for the `sim.dram.queue_depth` histogram:
+    /// slot `d` counts requests that saw `d` reads in flight. The queue is
+    /// bounded by `read_queue_size`, so `read_queue_size + 1` slots cover
+    /// every observable depth; [`DramModel::flush_telemetry`] folds the
+    /// tally into the recorder in one pass and zeroes it. Only written when
+    /// telemetry is compiled in.
+    depth_counts: Box<[u64]>,
+    /// Stats totals already emitted to telemetry, so
+    /// [`DramModel::flush_telemetry`] publishes deltas and stays correct
+    /// across repeated flushes.
+    flushed: DramStats,
 }
 
 impl DramModel {
@@ -77,13 +108,48 @@ impl DramModel {
             };
             config.total_banks()
         ];
+        let blocks_per_row = (config.row_bytes / crate::addr::BLOCK_SIZE).max(1);
+        let total_banks = (config.total_banks() as u64).max(1);
         DramModel {
             config,
             banks,
-            inflight: Vec::new(),
+            // Full capacity up front: the queue's length is bounded by
+            // `read_queue_size` (see `service_classified`), so no push
+            // ever reallocates.
+            inflight: Vec::with_capacity(config.read_queue_size),
+            inflight_earliest: u64::MAX,
+            blocks_per_row,
+            total_banks,
+            row_shift: blocks_per_row
+                .is_power_of_two()
+                .then(|| blocks_per_row.trailing_zeros()),
+            bank_shift: total_banks
+                .is_power_of_two()
+                .then(|| total_banks.trailing_zeros()),
             bus_free_at: 0,
             stats: DramStats::default(),
+            depth_counts: vec![0; config.read_queue_size + 1].into_boxed_slice(),
+            flushed: DramStats::default(),
         }
+    }
+
+    /// Removes every in-flight read that completed by `now`, keeping the
+    /// cached minimum current. One compare when nothing has drained.
+    #[inline]
+    fn drain_inflight(&mut self, now: u64) {
+        if self.inflight_earliest > now {
+            return;
+        }
+        let mut min = u64::MAX;
+        self.inflight.retain(|&c| {
+            if c > now {
+                min = min.min(c);
+                true
+            } else {
+                false
+            }
+        });
+        self.inflight_earliest = min;
     }
 
     /// Accumulated statistics.
@@ -97,11 +163,20 @@ impl DramModel {
     /// streaming accesses exploit bank-level parallelism, as real address
     /// interleaving does.
     fn map(&self, block: Block) -> (usize, u64) {
-        let blocks_per_row = self.config.row_bytes / crate::addr::BLOCK_SIZE;
-        let row_global = block.0 / blocks_per_row;
-        let bank = (row_global % self.config.total_banks() as u64) as usize;
-        let row = row_global / self.config.total_banks() as u64;
-        (bank, row)
+        let row_global = match self.row_shift {
+            Some(s) => block.0 >> s,
+            None => block.0 / self.blocks_per_row,
+        };
+        match self.bank_shift {
+            Some(s) => (
+                (row_global & (self.total_banks - 1)) as usize,
+                row_global >> s,
+            ),
+            None => (
+                (row_global % self.total_banks) as usize,
+                row_global / self.total_banks,
+            ),
+        }
     }
 
     /// Services a read request arriving at cycle `now`; returns the cycle at
@@ -109,18 +184,9 @@ impl DramModel {
     pub fn service(&mut self, block: Block, now: u64) -> u64 {
         let (outcome, done) = self.service_classified(block, now);
         match outcome {
-            RowOutcome::Hit => {
-                self.stats.row_hits += 1;
-                telemetry::counter!("sim.dram.row_hits", 1);
-            }
-            RowOutcome::Conflict => {
-                self.stats.row_conflicts += 1;
-                telemetry::counter!("sim.dram.row_conflicts", 1);
-            }
-            RowOutcome::Empty => {
-                self.stats.row_empties += 1;
-                telemetry::counter!("sim.dram.row_empties", 1);
-            }
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+            RowOutcome::Empty => self.stats.row_empties += 1,
         }
         done
     }
@@ -131,17 +197,15 @@ impl DramModel {
     /// how FR-FCFS controllers serve demands first and drop speculative
     /// requests under load rather than letting them delay demands.
     pub fn service_prefetch(&mut self, block: Block, now: u64) -> Option<u64> {
-        self.inflight.retain(|&c| c > now);
+        self.drain_inflight(now);
         if self.inflight.len() + 4 >= self.config.read_queue_size {
             self.stats.prefetches_dropped += 1;
-            telemetry::counter!("sim.dram.prefetches_dropped", 1);
             return None;
         }
         let (bank_idx, _) = self.map(block);
         let congestion_slack = 2 * self.config.t_cas;
         if self.banks[bank_idx].free_at > now + congestion_slack {
             self.stats.prefetches_dropped += 1;
-            telemetry::counter!("sim.dram.prefetches_dropped", 1);
             return None;
         }
         Some(self.service(block, now))
@@ -150,20 +214,27 @@ impl DramModel {
     /// Like [`DramModel::service`] but also reports the row-buffer outcome.
     pub fn service_classified(&mut self, block: Block, now: u64) -> (RowOutcome, u64) {
         self.stats.requests += 1;
-        telemetry::counter!("sim.dram.requests", 1);
 
         // Bounded read queue: if full, the request waits until the oldest
         // in-flight read drains.
         let mut start = now;
-        self.inflight.retain(|&c| c > start);
-        telemetry::histogram!("sim.dram.queue_depth", self.inflight.len() as u64);
+        self.drain_inflight(start);
+        if telemetry::enabled() {
+            // Tally locally; `flush_telemetry` folds the whole distribution
+            // into `sim.dram.queue_depth` in one recorder round trip.
+            self.depth_counts[self.inflight.len()] += 1;
+        }
         if self.inflight.len() >= self.config.read_queue_size {
-            let earliest = *self.inflight.iter().min().expect("non-empty queue");
+            let earliest = self.inflight_earliest;
+            debug_assert_eq!(
+                Some(&earliest),
+                self.inflight.iter().min(),
+                "cached queue minimum out of date"
+            );
             let stall = earliest.saturating_sub(start);
             self.stats.queue_stall_cycles += stall;
-            telemetry::counter!("sim.dram.queue_stall_cycles", stall);
             start = earliest;
-            self.inflight.retain(|&c| c > start);
+            self.drain_inflight(start);
         }
 
         let (bank_idx, row) = self.map(block);
@@ -192,8 +263,70 @@ impl DramModel {
             _ => data_ready,
         };
 
+        debug_assert!(
+            self.inflight.len() < self.config.read_queue_size,
+            "read queue over capacity"
+        );
         self.inflight.push(done);
+        self.inflight_earliest = self.inflight_earliest.min(done);
         (outcome, done)
+    }
+
+    /// Publishes telemetry accumulated since the previous flush: the
+    /// queue-depth distribution and deltas of every counter the model
+    /// tracks. The aggregates are bit-identical to recording per request —
+    /// counters are order-insensitive sums and the depth tally preserves
+    /// exact bucket counts — but the hot path pays one array increment per
+    /// request instead of recorder lookups. Counters that did not move are
+    /// skipped, preserving the "absent, not zero" snapshot semantics.
+    pub fn flush_telemetry(&mut self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        for depth in 0..self.depth_counts.len() {
+            let n = self.depth_counts[depth];
+            telemetry::histogram_n!("sim.dram.queue_depth", depth as u64, n);
+            self.depth_counts[depth] = 0;
+        }
+        let delta = |now: u64, then: u64| now - then;
+        let pairs = [
+            (
+                "sim.dram.requests",
+                delta(self.stats.requests, self.flushed.requests),
+            ),
+            (
+                "sim.dram.row_hits",
+                delta(self.stats.row_hits, self.flushed.row_hits),
+            ),
+            (
+                "sim.dram.row_conflicts",
+                delta(self.stats.row_conflicts, self.flushed.row_conflicts),
+            ),
+            (
+                "sim.dram.row_empties",
+                delta(self.stats.row_empties, self.flushed.row_empties),
+            ),
+            (
+                "sim.dram.queue_stall_cycles",
+                delta(
+                    self.stats.queue_stall_cycles,
+                    self.flushed.queue_stall_cycles,
+                ),
+            ),
+            (
+                "sim.dram.prefetches_dropped",
+                delta(
+                    self.stats.prefetches_dropped,
+                    self.flushed.prefetches_dropped,
+                ),
+            ),
+        ];
+        for (name, d) in pairs {
+            if d > 0 {
+                telemetry::counter!(name, d);
+            }
+        }
+        self.flushed = self.stats;
     }
 
     /// Resets banks, queues, and statistics.
@@ -205,8 +338,11 @@ impl DramModel {
             };
         }
         self.inflight.clear();
+        self.inflight_earliest = u64::MAX;
         self.bus_free_at = 0;
         self.stats = DramStats::default();
+        self.depth_counts.fill(0);
+        self.flushed = DramStats::default();
     }
 }
 
@@ -280,6 +416,50 @@ mod tests {
         let (_, second) = d.service_classified(Block(1), 0);
         assert!(second >= first);
         assert!(d.stats().queue_stall_cycles > 0);
+    }
+
+    #[test]
+    fn read_queue_never_exceeds_capacity() {
+        // Bounded-buffer audit: whatever the arrival pattern, the in-flight
+        // queue stays within the preallocated `read_queue_size` slots, so
+        // the model never allocates after construction.
+        let cfg = small_cfg();
+        let mut d = DramModel::new(cfg);
+        let cap_before = d.inflight.capacity();
+        let mut x = 1u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Arrival times progress slowly so the queue saturates.
+            d.service(Block(x >> 40), i / 4);
+            assert!(d.inflight.len() <= cfg.read_queue_size);
+        }
+        assert_eq!(d.inflight.capacity(), cap_before, "queue reallocated");
+    }
+
+    #[test]
+    fn non_pow2_geometry_uses_division_mapping() {
+        // 3 blocks per row and 3 banks: both fall off the shift/mask fast
+        // path onto the division fallback, which must behave exactly like
+        // the original arithmetic.
+        let cfg = DramConfig {
+            banks_per_rank: 3,
+            row_bytes: 192,
+            ..small_cfg()
+        };
+        let mut d = DramModel::new(cfg);
+        assert_eq!(d.row_shift, None);
+        assert_eq!(d.bank_shift, None);
+        // Blocks 0..3 share row 0; block 3 opens a row on the next bank.
+        let (_, t) = d.service_classified(Block(0), 0);
+        let (o, t) = d.service_classified(Block(1), t);
+        assert_eq!(o, RowOutcome::Hit);
+        let (o, t) = d.service_classified(Block(2), t);
+        assert_eq!(o, RowOutcome::Hit);
+        let (o, t) = d.service_classified(Block(3), t);
+        assert_eq!(o, RowOutcome::Empty, "block 3 starts row 1 on bank 1");
+        // Global rows 0 and 3 share bank 0 (3 banks): conflict.
+        let (o, _) = d.service_classified(Block(3 * 3), t);
+        assert_eq!(o, RowOutcome::Conflict);
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! file; the timed simulation then replays the trace, injecting each prefetch
 //! into the LLC when its trigger access executes.
 
-use std::collections::BinaryHeap;
-
 use pathfinder_telemetry as telemetry;
 
 use crate::access::{MemoryAccess, PrefetchRequest, Trace};
@@ -16,6 +14,7 @@ use crate::cache::{Cache, CacheLevel, LookupResult};
 use crate::config::SimConfig;
 use crate::core::RobModel;
 use crate::dram::DramModel;
+use crate::mshr::MshrTracker;
 use crate::stats::{DetailedStats, SimReport};
 
 /// The trace-driven simulator.
@@ -40,9 +39,24 @@ pub struct Simulator {
     llc: Cache,
     dram: DramModel,
     rob: RobModel,
-    /// Completion cycles of outstanding demand misses (min-heap via Reverse).
-    outstanding: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Completion cycles of outstanding demand misses, bounded by
+    /// `core.mshrs` at construction (no steady-state allocation).
+    outstanding: MshrTracker,
     report: SimReport,
+    /// Per-depth tally for the `sim.mshr.occupancy` histogram: slot `d`
+    /// counts accesses that saw `d` outstanding misses. The tracker is
+    /// bounded by its capacity, so `capacity + 1` slots cover every
+    /// observable depth; the end-of-replay flush folds the tally into the
+    /// recorder in one pass. Only written when telemetry is compiled in.
+    occupancy_counts: Box<[u64]>,
+    /// Accesses that stalled on a full MSHR file. `SimReport` has no field
+    /// for this, so the engine tallies it here for the telemetry flush.
+    mshr_stalls: u64,
+    /// Measured-window prefetches filtered by LLC residency (ditto).
+    prefetches_filtered: u64,
+    /// Counter totals already published to telemetry, so the flush emits
+    /// deltas: (mshr_stalls, filtered, useful, late, issued).
+    flushed_counts: [u64; 5],
 }
 
 impl Simulator {
@@ -55,8 +69,12 @@ impl Simulator {
             llc: Cache::labeled(config.llc, CacheLevel::Llc),
             dram: DramModel::new(config.dram),
             rob: RobModel::new(config.core),
-            outstanding: BinaryHeap::new(),
+            outstanding: MshrTracker::new(config.core.mshrs),
             report: SimReport::default(),
+            occupancy_counts: vec![0; config.core.mshrs.max(1) + 1].into_boxed_slice(),
+            mshr_stalls: 0,
+            prefetches_filtered: 0,
+            flushed_counts: [0; 5],
         }
     }
 
@@ -95,11 +113,24 @@ impl Simulator {
 
     /// Replays and also returns per-component statistics.
     pub fn run_detailed(
-        mut self,
+        self,
         trace: &Trace,
         prefetches: &[PrefetchRequest],
     ) -> (SimReport, DetailedStats) {
-        self.run_inner(trace, prefetches, 0);
+        self.run_detailed_with_warmup(trace, prefetches, 0)
+    }
+
+    /// Like [`Simulator::run_detailed`] with a warm-up window (see
+    /// [`Simulator::run_with_warmup`]). The per-component statistics cover
+    /// the whole replay including warm-up — they describe component state,
+    /// not the measured window.
+    pub fn run_detailed_with_warmup(
+        mut self,
+        trace: &Trace,
+        prefetches: &[PrefetchRequest],
+        warmup_loads: usize,
+    ) -> (SimReport, DetailedStats) {
+        self.run_inner(trace, prefetches, warmup_loads);
         let detail = DetailedStats {
             l1d: *self.l1d.stats(),
             l2: *self.l2.stats(),
@@ -186,33 +217,67 @@ impl Simulator {
         self.report.instructions = total_instr.saturating_sub(measured_start_instr);
         self.report.cycles = end_cycle.saturating_sub(measured_start_cycle);
         self.report.prefetches_useless = self.llc.stats().useless_evictions;
+
+        // Hot-loop telemetry is deferred: the loop above only tallied into
+        // plain fields and bounded count arrays; publish everything in one
+        // batch now. Counter totals and histogram aggregates are
+        // bit-identical to per-access recording (the canonical-report test
+        // pins this against the reference engine, which still records per
+        // access).
+        self.l1d.flush_telemetry();
+        self.l2.flush_telemetry();
+        self.llc.flush_telemetry();
+        self.dram.flush_telemetry();
+        self.flush_engine_telemetry();
+    }
+
+    /// Publishes the engine-level telemetry accumulated during the replay:
+    /// the MSHR-occupancy distribution and deltas of the stall and prefetch
+    /// counters. Counters that did not move emit nothing, preserving the
+    /// "absent, not zero" snapshot semantics (e.g. `sim.prefetch.filtered`
+    /// stays absent when the whole trace was warm-up).
+    fn flush_engine_telemetry(&mut self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        for depth in 0..self.occupancy_counts.len() {
+            let n = self.occupancy_counts[depth];
+            telemetry::histogram_n!("sim.mshr.occupancy", depth as u64, n);
+            self.occupancy_counts[depth] = 0;
+        }
+        let totals = [
+            ("sim.mshr.stalls", self.mshr_stalls),
+            ("sim.prefetch.filtered", self.prefetches_filtered),
+            ("sim.prefetch.useful", self.report.prefetches_useful),
+            ("sim.prefetch.late", self.report.prefetches_late),
+            ("sim.prefetch.issued", self.report.prefetches_issued),
+        ];
+        for ((name, total), flushed) in totals.into_iter().zip(self.flushed_counts.iter_mut()) {
+            let delta = total - *flushed;
+            if delta > 0 {
+                telemetry::counter!(name, delta);
+            }
+            *flushed = total;
+        }
     }
 
     /// Dispatch cycle after ROB and MSHR structural hazards.
     fn issue_with_hazards(&mut self, instr_id: u64) -> u64 {
         let mut issue = self.rob.issue_cycle(instr_id);
         // MSHR hazard: too many outstanding misses delays further dispatch.
-        while let Some(&std::cmp::Reverse(done)) = self.outstanding.peek() {
-            if done <= issue {
-                self.outstanding.pop();
-            } else {
-                break;
-            }
+        self.outstanding.drain_completed(issue);
+        if telemetry::enabled() {
+            // Tally locally; the end-of-replay flush folds the whole
+            // distribution into `sim.mshr.occupancy` at once.
+            self.occupancy_counts[self.outstanding.len()] += 1;
         }
-        telemetry::histogram!("sim.mshr.occupancy", self.outstanding.len() as u64);
         if self.outstanding.len() >= self.config.core.mshrs {
-            telemetry::counter!("sim.mshr.stalls", 1);
-            if let Some(std::cmp::Reverse(done)) = self.outstanding.pop() {
+            self.mshr_stalls += 1;
+            if let Some(done) = self.outstanding.pop_earliest() {
                 issue = issue.max(done);
             }
             // Drain anything else that finished by the new issue time.
-            while let Some(&std::cmp::Reverse(done)) = self.outstanding.peek() {
-                if done <= issue {
-                    self.outstanding.pop();
-                } else {
-                    break;
-                }
-            }
+            self.outstanding.drain_completed(issue);
         }
         issue
     }
@@ -225,7 +290,8 @@ impl Simulator {
         }
 
         // The per-level hit/miss counters (`sim.<level>.{hits,misses}`) are
-        // recorded by the labeled caches themselves in `demand_access`.
+        // tallied by the labeled caches themselves in `demand_access` and
+        // published by their end-of-replay telemetry flush.
         if let LookupResult::Hit { .. } = self.l1d.demand_access(block, issue) {
             if measuring {
                 self.report.l1d_hits += 1;
@@ -236,7 +302,10 @@ impl Simulator {
             if measuring {
                 self.report.l2_hits += 1;
             }
-            self.l1d.fill(block, false, 0);
+            // Every fill in the demand walk targets a block that just
+            // missed at that level, so the absent fast path applies (it is
+            // bit-identical to `fill`; the equivalence suite pins this).
+            self.l1d.fill_absent(block, false, 0);
             return self.config.l2_hit_latency();
         }
 
@@ -251,16 +320,16 @@ impl Simulator {
                 if measuring {
                     self.report.llc_hits += 1;
                     if first_demand_to_prefetch {
+                        // `sim.prefetch.{useful,late}` flush from these
+                        // report fields at the end of the replay.
                         self.report.prefetches_useful += 1;
-                        telemetry::counter!("sim.prefetch.useful", 1);
                         if fill_ready_cycle > issue {
                             self.report.prefetches_late += 1;
-                            telemetry::counter!("sim.prefetch.late", 1);
                         }
                     }
                 }
-                self.l2.fill(block, false, 0);
-                self.l1d.fill(block, false, 0);
+                self.l2.fill_absent(block, false, 0);
+                self.l1d.fill_absent(block, false, 0);
                 // Late prefetch: the demand merges into the in-flight fill
                 // and completes when the data arrives (never faster than a
                 // plain LLC hit).
@@ -273,10 +342,10 @@ impl Simulator {
                 }
                 let dram_submit = issue + self.config.llc_hit_latency();
                 let data_back = self.dram.service(block, dram_submit);
-                self.outstanding.push(std::cmp::Reverse(data_back));
-                self.llc.fill(block, false, 0);
-                self.l2.fill(block, false, 0);
-                self.l1d.fill(block, false, 0);
+                self.outstanding.push(data_back);
+                self.llc.fill_absent(block, false, 0);
+                self.l2.fill_absent(block, false, 0);
+                self.l1d.fill_absent(block, false, 0);
                 data_back - issue
             }
         }
@@ -286,7 +355,11 @@ impl Simulator {
     /// side may shed the request under demand load.
     fn issue_prefetch(&mut self, block: Block, now: u64, measuring: bool) {
         if self.llc.probe(block) {
-            telemetry::counter!("sim.prefetch.filtered", 1);
+            // Gated like `sim.prefetch.issued`: warmup-phase prefetch
+            // traffic must not skew canonical reports.
+            if measuring {
+                self.prefetches_filtered += 1;
+            }
             return; // already resident (or already being prefetched)
         }
         let Some(data_back) = self
@@ -296,12 +369,14 @@ impl Simulator {
             return; // queue busy with demands: prefetch dropped
         };
         if measuring {
-            self.report.prefetches_issued += 1;
-            // Kept in lockstep with `report.prefetches_issued` — the
+            // `sim.prefetch.issued` flushes from this field at the end of
+            // the replay, staying in lockstep with the report — the
             // harness's run-report integration test asserts equality.
-            telemetry::counter!("sim.prefetch.issued", 1);
+            self.report.prefetches_issued += 1;
         }
-        self.llc.fill(block, true, data_back);
+        // The probe above proved the block absent; nothing between the
+        // probe and this fill touches the LLC.
+        self.llc.fill_absent(block, true, data_back);
     }
 }
 
@@ -489,6 +564,51 @@ mod tests {
             with_pf.ipc(),
             base.ipc()
         );
+    }
+
+    #[test]
+    fn demand_refill_stops_charging_stale_late_prefetch_wait() {
+        // Regression (PR 5): `Cache::fill` on an already-present line used
+        // to refresh only the LRU stamp, so a demand fill landing on a
+        // resident in-flight-prefetch line kept the stale
+        // `fill_ready_cycle` — and every later demand through
+        // `demand_latency` re-paid the old late-prefetch wait.
+        let cfg = SimConfig::default();
+        let block = Block(42);
+        let access = MemoryAccess::new(0, 0x400, block.0 * 64);
+
+        // A genuine in-flight prefetch hit still charges the wait ...
+        let mut sim = Simulator::new(cfg);
+        sim.llc.fill(block, true, 2_000);
+        let latency = sim.demand_latency(&access, 100, true);
+        assert_eq!(latency, 1_900, "in-flight prefetch: wait until arrival");
+
+        // ... but once a demand fill supersedes the in-flight prefetch
+        // line, the stale arrival cycle is gone: plain LLC hit latency.
+        let mut sim = Simulator::new(cfg);
+        sim.llc.fill(block, true, 2_000);
+        sim.llc.fill(block, false, 0);
+        let latency = sim.demand_latency(&access, 100, true);
+        assert_eq!(latency, cfg.llc_hit_latency());
+        // The superseded prefetch no longer counts as a first demand touch.
+        assert_eq!(sim.report.prefetches_useful, 0);
+    }
+
+    #[test]
+    fn warmup_prefetch_traffic_is_excluded_from_counters() {
+        // Duplicate-heavy schedule: first request issues, the rest are
+        // residency-filtered. With the whole schedule inside the warmup
+        // window, no prefetch counter may leak into the measured report.
+        let trace = miss_trace(100);
+        let target = Block(999_999);
+        let prefetches: Vec<PrefetchRequest> = trace
+            .iter()
+            .take(50)
+            .map(|a| PrefetchRequest::new(a.instr_id, target))
+            .collect();
+        let report = Simulator::new(SimConfig::default()).run_with_warmup(&trace, &prefetches, 50);
+        assert_eq!(report.prefetches_requested, 0);
+        assert_eq!(report.prefetches_issued, 0);
     }
 
     #[test]

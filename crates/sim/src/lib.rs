@@ -43,6 +43,8 @@ pub mod core;
 pub mod dram;
 pub mod engine;
 pub mod io;
+pub mod mshr;
+pub mod reference;
 pub mod stats;
 
 pub use access::{MemoryAccess, PrefetchRequest, Trace};
@@ -53,4 +55,6 @@ pub use core::RobModel;
 pub use dram::{DramModel, DramStats, RowOutcome};
 pub use engine::Simulator;
 pub use io::{read_trace, write_trace, ReadTraceError};
+pub use mshr::MshrTracker;
+pub use reference::{ReferenceCache, ReferenceSimulator};
 pub use stats::{DetailedStats, SimReport};

@@ -85,7 +85,10 @@ impl SimReport {
 }
 
 /// Detailed per-component statistics for debugging and ablation.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is bit-exact on every counter — the engine-equivalence suite
+/// compares the flat and reference replays on whole `DetailedStats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DetailedStats {
     /// L1D counters.
     pub l1d: CacheStats,

@@ -68,6 +68,22 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` identical samples of `value` in one update — exactly
+    /// equivalent to calling [`Histogram::record`] `n` times (a no-op when
+    /// `n` is zero, leaving min/max untouched). Lets replay-style hot loops
+    /// tally bounded-domain values locally and fold them in once.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

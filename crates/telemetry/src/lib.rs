@@ -173,6 +173,20 @@ pub fn record_histogram(name: &'static str, value: u64) {
     let _ = (name, value);
 }
 
+/// Records `n` identical samples of `value` into histogram `name` in one
+/// recorder round trip — bit-identical aggregates to `n` calls of
+/// [`record_histogram`], and a no-op for `n == 0` (the histogram entry is
+/// not created). Prefer the [`histogram_n!`] macro. This is the flush half
+/// of the "tally locally, record once" pattern the replay engine uses for
+/// per-access bounded-domain values like MSHR occupancy.
+#[inline(always)]
+pub fn record_histogram_n(name: &'static str, value: u64, n: u64) {
+    #[cfg(feature = "enabled")]
+    active::with_current(|r| r.histogram_record_n(name, value, n));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value, n);
+}
+
 /// Adds one `elapsed_ns`-long span to timer `name`. Prefer [`timer!`].
 #[inline(always)]
 pub fn record_timer_ns(name: &'static str, elapsed_ns: u64) {
@@ -275,6 +289,16 @@ macro_rules! gauge {
 macro_rules! histogram {
     ($name:expr, $value:expr) => {
         $crate::record_histogram($name, $value as u64)
+    };
+}
+
+/// Records `n` identical histogram samples in one round trip:
+/// `histogram_n!("sim.mshr.occupancy", depth, count)`. Equivalent to `n`
+/// [`histogram!`] calls; a no-op when `n` is zero.
+#[macro_export]
+macro_rules! histogram_n {
+    ($name:expr, $value:expr, $n:expr) => {
+        $crate::record_histogram_n($name, $value as u64, $n as u64)
     };
 }
 

@@ -18,6 +18,16 @@ pub trait Recorder {
     fn gauge_set(&self, name: &'static str, value: f64);
     /// Records `value` into histogram `name`.
     fn histogram_record(&self, name: &'static str, value: u64);
+    /// Records `n` identical samples of `value` into histogram `name`,
+    /// equivalent to `n` calls of [`Recorder::histogram_record`] (and a
+    /// no-op when `n` is zero — the histogram entry is not even created).
+    /// The default implementation loops; aggregating recorders should
+    /// override it with a constant-time bucket update.
+    fn histogram_record_n(&self, name: &'static str, value: u64, n: u64) {
+        for _ in 0..n {
+            self.histogram_record(name, value);
+        }
+    }
     /// Adds one span of `elapsed_ns` to timer `name`.
     fn timer_add_ns(&self, name: &'static str, elapsed_ns: u64);
     /// Returns the current aggregate state.
@@ -34,6 +44,7 @@ impl Recorder for NoopRecorder {
     fn counter_add(&self, _name: &'static str, _delta: u64) {}
     fn gauge_set(&self, _name: &'static str, _value: f64) {}
     fn histogram_record(&self, _name: &'static str, _value: u64) {}
+    fn histogram_record_n(&self, _name: &'static str, _value: u64, _n: u64) {}
     fn timer_add_ns(&self, _name: &'static str, _elapsed_ns: u64) {}
     fn snapshot(&self) -> Snapshot {
         Snapshot::default()
@@ -79,6 +90,18 @@ impl Recorder for MemoryRecorder {
             .entry(name)
             .or_default()
             .record(value);
+    }
+
+    fn histogram_record_n(&self, name: &'static str, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.store
+            .borrow_mut()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record_n(value, n);
     }
 
     fn timer_add_ns(&self, name: &'static str, elapsed_ns: u64) {

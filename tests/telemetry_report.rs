@@ -108,6 +108,86 @@ fn run_report_json_and_markdown_cover_all_rows() {
     assert!(md.contains("| workload | prefetcher |"));
 }
 
+/// `sim.prefetch.filtered` is gated on the measuring window exactly like
+/// `sim.prefetch.issued`: residency-filtered prefetches inside the warmup
+/// window leave no trace in telemetry, and the resulting snapshot is stable
+/// enough to pin byte-for-byte through [`RunReport::canonical`].
+#[test]
+fn filtered_counter_is_warmup_gated_and_canonical_pinned() {
+    use pathfinder_suite::sim::{
+        MemoryAccess, PrefetchRequest, ReferenceSimulator, SimConfig, Simulator, Trace,
+    };
+
+    // Every access touches a fresh block; every prefetch re-requests the
+    // block its own trigger access just demand-filled, so the residency
+    // probe filters all of them: requested == filtered, issued == 0.
+    let trace: Trace = (0..100u64)
+        .map(|i| MemoryAccess::new(i * 4, 0x400, 0x40_0000 + i * 64))
+        .collect();
+    let schedule: Vec<PrefetchRequest> = trace
+        .iter()
+        .map(|a| PrefetchRequest::new(a.instr_id, a.block()))
+        .collect();
+
+    let capture_run = |warmup: usize| {
+        telemetry::capture(|| {
+            Simulator::new(SimConfig::default()).run_with_warmup(&trace, &schedule, warmup)
+        })
+    };
+
+    // Warmup 0: all 100 filtered prefetches are measured.
+    let (rep_full, snap_full) = capture_run(0);
+    assert_eq!(rep_full.prefetches_requested, 100);
+    assert_eq!(rep_full.prefetches_issued, 0);
+    assert_eq!(snap_full.counter("sim.prefetch.filtered"), 100);
+
+    // Warmup 50: the first 50 filtered prefetches vanish from both the
+    // report and the telemetry column — the gate matches `issued`'s.
+    let (rep_half, snap_half) = capture_run(50);
+    assert_eq!(rep_half.prefetches_requested, 50);
+    assert_eq!(snap_half.counter("sim.prefetch.filtered"), 50);
+    assert_eq!(snap_half.counter("sim.prefetch.issued"), 0);
+
+    // Whole-trace warmup: the counter must be entirely absent, not zero.
+    let (rep_none, snap_none) = capture_run(trace.len());
+    assert_eq!(rep_none.prefetches_requested, 0);
+    assert!(
+        !snap_none.counters.contains_key("sim.prefetch.filtered"),
+        "warmup-window filtering must not record telemetry"
+    );
+
+    // Pin the gated counter through RunReport::canonical(): a hand-rolled
+    // report around the snapshot serializes byte-identically across repeat
+    // runs (and across the flat and reference engines, which must agree on
+    // every counter and histogram, timers excepted — canonical zeroes those).
+    let build_report = |snap: telemetry::Snapshot| report::RunReport {
+        loads: trace.len(),
+        seed: 0,
+        telemetry_enabled: telemetry::enabled(),
+        rows: Vec::new(),
+        per_prefetcher: vec![("FilteredProbe".to_string(), snap)],
+    };
+    let json_a = build_report(snap_half).canonical().to_json();
+    assert!(
+        json_a.contains("\"sim.prefetch.filtered\":50"),
+        "canonical JSON must pin the measured filter count: {json_a}"
+    );
+    let (_, snap_again) = capture_run(50);
+    assert_eq!(
+        json_a,
+        build_report(snap_again).canonical().to_json(),
+        "canonical reports must be byte-identical across repeat runs"
+    );
+    let (_, snap_ref) = telemetry::capture(|| {
+        ReferenceSimulator::new(SimConfig::default()).run_with_warmup(&trace, &schedule, 50)
+    });
+    assert_eq!(
+        json_a,
+        build_report(snap_ref).canonical().to_json(),
+        "flat and reference engines must record identical telemetry"
+    );
+}
+
 /// PATHFINDER itself must light up the SNN- and prefetcher-level metrics the
 /// paper's analysis sections rely on (spike counts for §4.7's activity
 /// argument, training-table traffic for the Table 4 storage discussion).

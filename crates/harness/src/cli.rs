@@ -20,12 +20,15 @@
 //!   ext    beyond-the-paper: dynamic ensembles and cold-page prediction
 //!   report structured run report with telemetry (also writes run_report.json
 //!          and run_report.md next to the working directory)
-//!   bench  perf micro-suite: SNN presentation kernels, encoding,
+//!   bench  perf micro-suite: SNN presentation kernels (including the
+//!          SIMD-dispatched vs forced-scalar tier pair), encoding,
 //!          per-prefetcher per-access cost, one end-to-end report cell.
-//!          Writes BENCH_pr5.json (override with --bench-out). With
+//!          Writes BENCH_pr6.json (override with --bench-out). With
 //!          --baseline <json> the run becomes a gate: exits nonzero when
 //!          any suite's median regressed more than --threshold percent
-//!          (default 40) versus the baseline document.
+//!          (default 40) versus the baseline document; snn.* suites are
+//!          skipped when the baseline was recorded on a different kernel
+//!          tier (the document's kernel_tier field).
 //! ```
 //!
 //! `--threads T` bounds the sweep engine's worker pool (default: available
@@ -62,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
     let mut baseline: Option<String> = None;
     let mut threshold = 40.0f64;
-    let mut bench_out = String::from("BENCH_pr5.json");
+    let mut bench_out = String::from("BENCH_pr6.json");
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -302,15 +305,24 @@ fn run_bench(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let deltas = match bench::compare_to_baseline(&report, &baseline_json, args.threshold) {
-            Ok(d) => d,
+        let cmp = match bench::compare_to_baseline(&report, &baseline_json, args.threshold) {
+            Ok(c) => c,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        println!("{}", bench::render_deltas(&deltas, args.threshold));
-        let regressed: Vec<&str> = deltas
+        println!("{}", bench::render_deltas(&cmp, args.threshold));
+        if cmp.tier_mismatch {
+            eprintln!(
+                "# bench: baseline tier {} != current tier {}; {} snn suite(s) not gated",
+                cmp.baseline_tier.as_deref().unwrap_or("unknown"),
+                report.kernel_tier,
+                cmp.skipped.len()
+            );
+        }
+        let regressed: Vec<&str> = cmp
+            .deltas
             .iter()
             .filter(|d| d.regressed)
             .map(|d| d.name.as_str())
@@ -318,7 +330,7 @@ fn run_bench(args: &Args) -> ExitCode {
         if regressed.is_empty() {
             eprintln!(
                 "# bench: gate passed ({} suites within +{:.0}% of {path})",
-                deltas.len(),
+                cmp.deltas.len(),
                 args.threshold
             );
         } else {

@@ -2,19 +2,24 @@
 //!
 //! Runs a fixed set of microbenchmarks over the hot paths the ROADMAP
 //! cares about (SNN presentation 32-tick event-driven vs the retained
-//! reference kernel, the frozen-weight inference kernel, the 1-tick
-//! readout, pixel encoding, per-prefetcher per-access cost, the
-//! duty-cycled cached vs always-on steady-state pair, the flat-layout
-//! timed replay vs the retained reference engine
+//! reference kernel, the SIMD-dispatched vs forced-scalar tier pair
+//! (`snn.present32.simd` / `snn.present32.scalar`), the frozen-weight
+//! inference kernel, the 1-tick readout, pixel encoding, per-prefetcher
+//! per-access cost, the duty-cycled cached vs always-on steady-state
+//! pair, the flat-layout timed replay vs the retained reference engine
 //! (`sim.replay.{demand,prefetch,e2e}` plus `sim.replay.e2e.reference`),
 //! and one end-to-end report cell), then emits the results as
-//! `BENCH_pr5.json`: suite → median ns/op + throughput, plus a telemetry
-//! snapshot of the end-to-end cell.
+//! `BENCH_pr6.json`: suite → median ns/op + throughput, the dispatched
+//! kernel tier, plus a telemetry snapshot of the end-to-end cell.
 //!
 //! With `--baseline <json>` the run becomes a *gate*: each suite's median
 //! is compared against the checked-in baseline (`benches/baseline.json`)
 //! and the process exits nonzero when any suite regressed by more than the
-//! `--threshold` percentage. CI's `perf-smoke` job runs exactly this (see
+//! `--threshold` percentage. When the baseline records a different
+//! `kernel_tier` than the current run dispatches to (e.g. an AVX2-recorded
+//! baseline gated on a scalar-only host), the tier-sensitive `snn.*`
+//! suites are skipped rather than spuriously flagged — see
+//! [`compare_to_baseline`]. CI's `perf-smoke` job runs exactly this (see
 //! `.github/workflows/ci.yml` and EXPERIMENTS.md § "Benchmark gate").
 //!
 //! This is deliberately *not* Criterion: the vendored Criterion stub under
@@ -28,7 +33,7 @@ use std::time::Instant;
 use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder, StdpDutyCycle};
 use pathfinder_prefetch::generate_prefetches;
 use pathfinder_sim::{MemoryAccess, ReferenceSimulator, Simulator, Trace};
-use pathfinder_snn::DiehlCookNetwork;
+use pathfinder_snn::{DiehlCookNetwork, KernelTier};
 use pathfinder_telemetry::{json, Snapshot};
 use pathfinder_traces::Workload;
 
@@ -93,6 +98,14 @@ pub struct BenchReport {
     /// reference engine on the end-to-end report cell's trace and schedule
     /// (the PR-5 acceptance figure; target ≥ 1.3x).
     pub sim_replay_speedup: f64,
+    /// Paired-median speedup of the dispatched (SIMD where available)
+    /// event kernel over the forced-scalar tier on the 32-tick
+    /// presentation (the PR-6 acceptance figure). Exactly 1.0-ish on
+    /// hosts whose dispatched tier *is* scalar — check `kernel_tier`.
+    pub snn_simd_speedup: f64,
+    /// The kernel tier this run's SNN suites dispatched to (`"avx2"` or
+    /// `"scalar"`), from `pathfinder_snn::active_tier`.
+    pub kernel_tier: &'static str,
     /// Telemetry snapshot of one end-to-end report cell (empty when the
     /// harness is built without the `telemetry` feature).
     pub telemetry: Snapshot,
@@ -215,6 +228,33 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     suites.push(measure("snn.present32.reference", 25, 1, || {
         black_box(ref_net.present_reference(black_box(&rates), true));
     }));
+
+    // The tier pair (PR 6): the same event kernel through the dispatched
+    // tier (AVX2 where detected) and pinned to the scalar fallback. The
+    // two networks are same-seeded and bit-identical in behaviour (see
+    // snn::accel), so the paired ratio below isolates pure kernel cost.
+    // Measured in interleaved rounds for the same drift-cancelling reason
+    // as the replay pair. On a host whose dispatched tier is already
+    // scalar the pair measures scalar-vs-scalar and the ratio sits at
+    // ~1.0 — the report's `kernel_tier` field says which case this was.
+    let mut simd_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    let mut scalar_net =
+        DiehlCookNetwork::with_kernel_tier(cfg.snn_config(), opts.seed, KernelTier::Scalar)
+            .unwrap();
+    let (simd_suite, scalar_suite, snn_simd_speedup) = measure_ratio(
+        "snn.present32.simd",
+        "snn.present32.scalar",
+        25,
+        1,
+        || {
+            black_box(simd_net.present(black_box(&rates), true));
+        },
+        || {
+            black_box(scalar_net.present(black_box(&rates), true));
+        },
+    );
+    suites.push(simd_suite);
+    suites.push(scalar_suite);
 
     // The frozen-weight inference kernel (PR 4): a few training rounds
     // first so the measured presentation reflects realistic spiking, then
@@ -391,6 +431,8 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         present32_speedup,
         pathfinder_cached_speedup,
         sim_replay_speedup,
+        snn_simd_speedup,
+        kernel_tier: pathfinder_snn::active_tier().name(),
         telemetry,
     }
 }
@@ -424,7 +466,7 @@ fn steady_delta_trace(loads: usize) -> Trace {
 }
 
 impl BenchReport {
-    /// Renders the machine-readable JSON document (`BENCH_pr5.json`).
+    /// Renders the machine-readable JSON document (`BENCH_pr6.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\"schema\":");
@@ -433,6 +475,8 @@ impl BenchReport {
         out.push_str(&self.opts.loads.to_string());
         out.push_str(",\"seed\":");
         out.push_str(&self.opts.seed.to_string());
+        out.push_str(",\"kernel_tier\":");
+        json::write_string(&mut out, self.kernel_tier);
         out.push_str(",\"suites\":{");
         for (i, s) in self.suites.iter().enumerate() {
             if i > 0 {
@@ -459,6 +503,8 @@ impl BenchReport {
         json::write_f64(&mut out, self.pathfinder_cached_speedup);
         out.push_str(",\"sim_replay_flat_vs_reference_speedup\":");
         json::write_f64(&mut out, self.sim_replay_speedup);
+        out.push_str(",\"snn_present32_simd_vs_scalar_speedup\":");
+        json::write_f64(&mut out, self.snn_simd_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -492,6 +538,10 @@ impl BenchReport {
             "Timed replay (e2e cell): flat engine is {:.2}x the reference engine\n",
             self.sim_replay_speedup
         ));
+        out.push_str(&format!(
+            "Kernel tier: {} — dispatched event kernel is {:.2}x the forced-scalar tier\n",
+            self.kernel_tier, self.snn_simd_speedup
+        ));
         out
     }
 }
@@ -524,11 +574,36 @@ pub struct BaselineDelta {
     pub regressed: bool,
 }
 
+/// The outcome of gating a run against a baseline document: per-suite
+/// deltas plus what (if anything) was excluded because the two runs
+/// dispatched to different kernel tiers.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Per-suite comparisons, in the report's suite order.
+    pub deltas: Vec<BaselineDelta>,
+    /// The tier the baseline document recorded (`None` for pre-tier
+    /// documents, which compare everything).
+    pub baseline_tier: Option<String>,
+    /// Whether the baseline's tier differs from the current run's — when
+    /// true, the tier-sensitive `snn.*` suites were skipped.
+    pub tier_mismatch: bool,
+    /// Names of suites excluded from the gate by the tier mismatch.
+    pub skipped: Vec<String>,
+}
+
 /// Compares `report` against a baseline JSON document (produced by an
 /// earlier [`BenchReport::to_json`]). A suite regresses when its median
 /// exceeds the baseline median by more than `threshold_pct` percent.
 /// Suites missing on either side are skipped (the gate only compares what
 /// both runs measured).
+///
+/// When the baseline records a `kernel_tier` different from the current
+/// run's, every `snn.*` suite is excluded from the gate and listed in
+/// [`BaselineComparison::skipped`] instead: an AVX2-recorded median is not
+/// a meaningful bound for a scalar-dispatched run (or vice versa), and
+/// flagging the tier difference as a "regression" would gate on hardware,
+/// not code. Baselines without the field (written before tiers existed)
+/// compare everything, preserving the old behaviour.
 ///
 /// # Errors
 ///
@@ -538,14 +613,26 @@ pub fn compare_to_baseline(
     report: &BenchReport,
     baseline_json: &str,
     threshold_pct: f64,
-) -> Result<Vec<BaselineDelta>, String> {
+) -> Result<BaselineComparison, String> {
     let doc = json::parse(baseline_json).map_err(|e| format!("baseline JSON: {e}"))?;
     let suites = doc
         .get("suites")
         .and_then(json::Value::as_object)
         .ok_or("baseline JSON has no \"suites\" object")?;
+    let baseline_tier = doc
+        .get("kernel_tier")
+        .and_then(json::Value::as_str)
+        .map(str::to_string);
+    let tier_mismatch = baseline_tier
+        .as_deref()
+        .is_some_and(|t| t != report.kernel_tier);
     let mut deltas = Vec::new();
+    let mut skipped = Vec::new();
     for s in &report.suites {
+        if tier_mismatch && s.name.starts_with("snn.") {
+            skipped.push(s.name.to_string());
+            continue;
+        }
         let Some(baseline_ns) = suites
             .get(s.name)
             .and_then(|v| v.get("median_ns"))
@@ -565,16 +652,22 @@ pub fn compare_to_baseline(
             regressed: ratio > 1.0 + threshold_pct / 100.0,
         });
     }
-    Ok(deltas)
+    Ok(BaselineComparison {
+        deltas,
+        baseline_tier,
+        tier_mismatch,
+        skipped,
+    })
 }
 
-/// Renders the gate verdict table for [`compare_to_baseline`] output.
-pub fn render_deltas(deltas: &[BaselineDelta], threshold_pct: f64) -> String {
+/// Renders the gate verdict table for [`compare_to_baseline`] output,
+/// including a note about suites the tier mismatch excluded.
+pub fn render_deltas(cmp: &BaselineComparison, threshold_pct: f64) -> String {
     let mut t = TextTable::new(
         format!("Baseline gate (threshold +{threshold_pct:.0}%)"),
         &["suite", "baseline", "current", "ratio", "verdict"],
     );
-    for d in deltas {
+    for d in &cmp.deltas {
         t.row(vec![
             d.name.clone(),
             fmt_ns(d.baseline_ns),
@@ -583,7 +676,16 @@ pub fn render_deltas(deltas: &[BaselineDelta], threshold_pct: f64) -> String {
             if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
         ]);
     }
-    t.render()
+    let mut out = t.render();
+    if cmp.tier_mismatch {
+        out.push_str(&format!(
+            "note: baseline was recorded on the {} kernel tier; skipped {} tier-sensitive suite(s): {}\n",
+            cmp.baseline_tier.as_deref().unwrap_or("unknown"),
+            cmp.skipped.len(),
+            cmp.skipped.join(", ")
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -605,6 +707,8 @@ mod tests {
         for expected in [
             "snn.present32.event",
             "snn.present32.reference",
+            "snn.present32.simd",
+            "snn.present32.scalar",
             "snn.present32.frozen",
             "snn.present1.event",
             "encode.pixel_matrix",
@@ -624,11 +728,17 @@ mod tests {
         assert!(rep.present32_speedup.is_finite() && rep.present32_speedup > 0.0);
         assert!(rep.pathfinder_cached_speedup.is_finite() && rep.pathfinder_cached_speedup > 0.0);
         assert!(rep.sim_replay_speedup.is_finite() && rep.sim_replay_speedup > 0.0);
+        assert!(rep.snn_simd_speedup.is_finite() && rep.snn_simd_speedup > 0.0);
+        assert_eq!(rep.kernel_tier, pathfinder_snn::active_tier().name());
 
         let doc = json::parse(&rep.to_json()).expect("bench JSON parses");
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
             Some(SCHEMA)
+        );
+        assert_eq!(
+            doc.get("kernel_tier").and_then(json::Value::as_str),
+            Some(rep.kernel_tier)
         );
         let suites = doc.get("suites").and_then(json::Value::as_object).unwrap();
         assert_eq!(suites.len(), rep.suites.len());
@@ -647,36 +757,87 @@ mod tests {
             .and_then(|d| d.get("sim_replay_flat_vs_reference_speedup"))
             .and_then(json::Value::as_f64)
             .is_some());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("snn_present32_simd_vs_scalar_speedup"))
+            .and_then(json::Value::as_f64)
+            .is_some());
 
         let text = rep.render_text();
         assert!(text.contains("snn.present32.event"));
+        assert!(text.contains("Kernel tier:"));
     }
 
     #[test]
     fn baseline_gate_round_trips_and_flags_regressions() {
         let rep = tiny_report();
         // Against its own document nothing regresses, at any threshold.
-        let deltas = compare_to_baseline(&rep, &rep.to_json(), 0.5).unwrap();
-        assert_eq!(deltas.len(), rep.suites.len());
-        assert!(deltas.iter().all(|d| !d.regressed), "self-compare is clean");
+        let cmp = compare_to_baseline(&rep, &rep.to_json(), 0.5).unwrap();
+        assert_eq!(cmp.deltas.len(), rep.suites.len());
+        assert!(
+            cmp.deltas.iter().all(|d| !d.regressed),
+            "self-compare is clean"
+        );
+        assert!(!cmp.tier_mismatch, "same tier on both sides");
+        assert_eq!(cmp.baseline_tier.as_deref(), Some(rep.kernel_tier));
 
         // Against a 10x-faster fabricated baseline everything regresses.
         let mut fast = rep.clone();
         for s in &mut fast.suites {
             s.median_ns /= 10.0;
         }
-        let deltas = compare_to_baseline(&rep, &fast.to_json(), 40.0).unwrap();
-        assert!(deltas.iter().all(|d| d.regressed));
-        let rendered = render_deltas(&deltas, 40.0);
+        let cmp = compare_to_baseline(&rep, &fast.to_json(), 40.0).unwrap();
+        assert!(cmp.deltas.iter().all(|d| d.regressed));
+        let rendered = render_deltas(&cmp, 40.0);
         assert!(rendered.contains("REGRESSED"));
 
         // Unknown suites in the baseline are skipped, not fatal.
         let partial = r#"{"suites":{"snn.present32.event":{"median_ns":1e12}}}"#;
-        let deltas = compare_to_baseline(&rep, partial, 40.0).unwrap();
-        assert_eq!(deltas.len(), 1);
-        assert!(!deltas[0].regressed, "1e12 ns baseline cannot regress");
+        let cmp = compare_to_baseline(&rep, partial, 40.0).unwrap();
+        assert_eq!(cmp.deltas.len(), 1);
+        assert!(!cmp.deltas[0].regressed, "1e12 ns baseline cannot regress");
+        assert_eq!(
+            cmp.baseline_tier, None,
+            "pre-tier baselines compare everything"
+        );
+        assert!(!cmp.tier_mismatch);
 
         assert!(compare_to_baseline(&rep, "not json", 40.0).is_err());
         assert!(compare_to_baseline(&rep, "{}", 40.0).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_skips_snn_suites_on_tier_mismatch() {
+        let rep = tiny_report();
+        // Fabricate a baseline recorded on a different tier with absurdly
+        // fast SNN medians: without the tier skip every snn.* suite would
+        // be flagged, with it none are compared at all.
+        let mut other = rep.clone();
+        other.kernel_tier = if rep.kernel_tier == "scalar" {
+            "avx2"
+        } else {
+            "scalar"
+        };
+        for s in &mut other.suites {
+            if s.name.starts_with("snn.") {
+                s.median_ns /= 1000.0;
+            }
+        }
+        let cmp = compare_to_baseline(&rep, &other.to_json(), 40.0).unwrap();
+        assert!(cmp.tier_mismatch);
+        assert_eq!(cmp.baseline_tier.as_deref(), Some(other.kernel_tier));
+        assert!(
+            !cmp.skipped.is_empty() && cmp.skipped.iter().all(|n| n.starts_with("snn.")),
+            "exactly the snn.* suites are skipped: {:?}",
+            cmp.skipped
+        );
+        assert!(
+            cmp.deltas
+                .iter()
+                .all(|d| !d.name.starts_with("snn.") && !d.regressed),
+            "non-snn suites still gate, and none regress against itself"
+        );
+        let rendered = render_deltas(&cmp, 40.0);
+        assert!(rendered.contains("skipped"), "note surfaces the skip");
     }
 }

@@ -1,0 +1,791 @@
+//! Runtime-dispatched SIMD kernels for the SNN hot loops.
+//!
+//! The presentation hot path spends nearly all of its time in a handful of
+//! dense f32 loops over the excitatory population (drive accumulation,
+//! membrane integration, theta decay) and the weight matrix (expected-drive
+//! scores, normalization). This module provides AVX2 implementations of
+//! those loops behind a *checked* runtime dispatch: capabilities are probed
+//! once per process with `is_x86_feature_detected!` (see
+//! [`CpuCapabilities::detect`] / [`active_tier`]), every network captures
+//! the selected [`KernelTier`] at construction, and hosts without AVX2 —
+//! or runs with the `PATHFINDER_FORCE_SCALAR` environment override set —
+//! fall back to the portable scalar loops.
+//!
+//! ## The bit-identity contract
+//!
+//! Every AVX2 kernel performs **exactly the same IEEE-754 operations per
+//! element, in the same order, as its scalar fallback**: multiplies and
+//! adds are kept as separate rounding steps (no FMA contraction), no
+//! reduction is re-associated (the per-column weight sums accumulate row
+//! by row, in the same order a strided column walk visits them), and
+//! masked lanes preserve their input bits exactly. Dispatch therefore
+//! never changes results — not within a tolerance, but *bitwise* — which
+//! is what lets `crates/snn/tests/accel_equivalence.rs` pin the tiers
+//! against each other with exact equality on every outcome, and lets the
+//! existing kernel-equivalence suite hold unchanged under either tier.
+//!
+//! ## Forcing the scalar tier
+//!
+//! Setting `PATHFINDER_FORCE_SCALAR` to anything other than `0`, `false`,
+//! or the empty string makes [`active_tier`] return [`KernelTier::Scalar`]
+//! regardless of CPU support. CI runs the SNN test suite once under this
+//! override so the scalar fallback stays equivalence-pinned even on AVX2
+//! runners. The variable is read once per process (the tier is cached in a
+//! `OnceLock`); changing it at runtime has no effect on networks already
+//! constructed or on later [`active_tier`] calls.
+
+use std::sync::OnceLock;
+
+/// The CPU features (and process-level overrides) relevant to kernel
+/// dispatch, probed once via [`CpuCapabilities::detect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCapabilities {
+    /// Host supports AVX2 (256-bit f32/i32 lanes), per
+    /// `is_x86_feature_detected!("avx2")`. Always `false` off x86-64.
+    pub avx2: bool,
+    /// The `PATHFINDER_FORCE_SCALAR` environment override is active, which
+    /// pins dispatch to [`KernelTier::Scalar`] regardless of `avx2`.
+    pub force_scalar: bool,
+}
+
+impl CpuCapabilities {
+    /// Probes the host CPU and the process environment.
+    pub fn detect() -> Self {
+        CpuCapabilities {
+            avx2: avx2_available(),
+            force_scalar: force_scalar_from(
+                std::env::var("PATHFINDER_FORCE_SCALAR").ok().as_deref(),
+            ),
+        }
+    }
+
+    /// The kernel tier this capability set dispatches to: the widest
+    /// supported SIMD tier, unless `force_scalar` pins it to
+    /// [`KernelTier::Scalar`].
+    pub fn tier(self) -> KernelTier {
+        if self.force_scalar {
+            return KernelTier::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2 {
+            return KernelTier::Avx2;
+        }
+        KernelTier::Scalar
+    }
+}
+
+/// Whether the host CPU supports AVX2 (always `false` off x86-64).
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Parses the `PATHFINDER_FORCE_SCALAR` value: unset, empty, `0`, and
+/// `false` (any case) leave dispatch alone; anything else forces scalar.
+fn force_scalar_from(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+    }
+}
+
+/// Which kernel implementation a network dispatches its hot loops to.
+///
+/// A tier is selected once per network at construction (from
+/// [`active_tier`] by default, or explicitly via
+/// `DiehlCookNetwork::with_kernel_tier` /
+/// [`crate::LifLayer::with_tier`]) and used for every presentation that
+/// network runs. Tiers are *behaviourally identical* — see the
+/// bit-identity contract in the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable scalar loops; always available, and the semantic baseline
+    /// the SIMD tiers are pinned against.
+    Scalar,
+    /// AVX2 kernels: 8-wide f32 lanes for membrane/drive/weight arithmetic
+    /// and 8-wide i32 lanes for the refractory masks. Only constructible
+    /// on hosts where `is_x86_feature_detected!("avx2")` holds (checked
+    /// constructors refuse it elsewhere).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl KernelTier {
+    /// Stable lowercase name for reports and bench documents
+    /// (`"scalar"` / `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the host CPU can execute this tier. [`KernelTier::Scalar`]
+    /// is always supported; SIMD tiers require their feature probe to
+    /// pass. Constructors that accept an explicit tier call this and
+    /// reject unsupported requests, which keeps "a tier value exists" from
+    /// ever implying "its instructions are safe to run here".
+    pub fn supported(self) -> bool {
+        match self {
+            KernelTier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => is_x86_feature_detected!("avx2"),
+        }
+    }
+}
+
+/// The process-wide dispatch decision: [`CpuCapabilities::detect`]
+/// evaluated once and cached. `DiehlCookNetwork::new` and
+/// [`crate::LifLayer::new`] capture this value at construction.
+pub fn active_tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(|| CpuCapabilities::detect().tier())
+}
+
+/// Parameters of one LIF integration tick, hoisted out of
+/// [`lif_step`]'s lane loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LifStepParams {
+    /// Resting potential the membrane decays toward.
+    pub v_rest: f32,
+    /// Precomputed per-tick decay factor `exp(-1/tc_decay)`.
+    pub decay: f32,
+    /// Base firing threshold (the adaptive theta is added per neuron).
+    pub v_thresh: f32,
+    /// Potential after a spike.
+    pub v_reset: f32,
+    /// Refractory ticks after a spike.
+    pub refractory: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers. Each asserts slice-shape invariants once, then routes
+// to the scalar loop or (behind the capability check encoded in the tier's
+// construction) the AVX2 kernel.
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]` — the event kernel's per-spike weight-row
+/// accumulation into the drive buffer, and the row step of
+/// [`column_sums`].
+#[inline]
+pub(crate) fn add_assign(tier: KernelTier, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => add_assign_scalar(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: an Avx2 tier is only constructed after a successful
+        // `is_x86_feature_detected!("avx2")` probe (see KernelTier docs).
+        KernelTier::Avx2 => unsafe { avx2::add_assign(dst, src) },
+    }
+}
+
+/// `dst[i] += k * src[i]` — the expected-drive accumulation
+/// (`rate × weight-row`), kept as separate mul/add roundings.
+#[inline]
+pub(crate) fn scaled_add_assign(tier: KernelTier, dst: &mut [f32], src: &[f32], k: f32) {
+    assert_eq!(dst.len(), src.len(), "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => scaled_add_assign_scalar(dst, src, k),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::scaled_add_assign(dst, src, k) },
+    }
+}
+
+/// `xs[i] *= factor` — theta decay with a precomputed per-tick factor.
+#[inline]
+pub(crate) fn scale_in_place(tier: KernelTier, xs: &mut [f32], factor: f32) {
+    match tier {
+        KernelTier::Scalar => scale_in_place_scalar(xs, factor),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::scale_in_place(xs, factor) },
+    }
+}
+
+/// `scores[i] /= gap + max(thetas[i], 0)` — the final step of the §3.4
+/// expected time-to-fire readout.
+#[inline]
+pub(crate) fn div_by_theta_gap(tier: KernelTier, scores: &mut [f32], thetas: &[f32], gap: f32) {
+    assert_eq!(scores.len(), thetas.len(), "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => div_by_theta_gap_scalar(scores, thetas, gap),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::div_by_theta_gap(scores, thetas, gap) },
+    }
+}
+
+/// `v[i] += currents[i] * gain` for every non-refractory neuron
+/// (`refrac[i] == 0`) — the bulk synaptic injection behind
+/// [`crate::LifLayer::inject_all`].
+#[inline]
+pub(crate) fn masked_scaled_add(
+    tier: KernelTier,
+    v: &mut [f32],
+    refrac: &[u32],
+    currents: &[f32],
+    gain: f32,
+) {
+    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
+    assert_eq!(v.len(), currents.len(), "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => masked_scaled_add_scalar(v, refrac, currents, gain),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::masked_scaled_add(v, refrac, currents, gain) },
+    }
+}
+
+/// `v[i] += current` for every non-refractory neuron — the batched
+/// lateral-inhibition term behind [`crate::LifLayer::inject_uniform`].
+#[inline]
+pub(crate) fn masked_add_uniform(tier: KernelTier, v: &mut [f32], refrac: &[u32], current: f32) {
+    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => masked_add_uniform_scalar(v, refrac, current),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::masked_add_uniform(v, refrac, current) },
+    }
+}
+
+/// One LIF tick over the whole population: refractory neurons count down
+/// and skip integration; the rest leak toward rest and fire when they
+/// cross `v_thresh + theta[i]`, resetting to `v_reset` and entering the
+/// refractory period. Spiking indices are appended to `spikes_out`
+/// (cleared first) in ascending order — the AVX2 path extracts them from
+/// the lane movemask lowest-lane-first, so the order matches the scalar
+/// walk exactly.
+#[inline]
+pub(crate) fn lif_step(
+    tier: KernelTier,
+    v: &mut [f32],
+    refrac: &mut [u32],
+    theta: &[f32],
+    p: LifStepParams,
+    spikes_out: &mut Vec<usize>,
+) {
+    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
+    assert_eq!(v.len(), theta.len(), "accel: slice length mismatch");
+    spikes_out.clear();
+    match tier {
+        KernelTier::Scalar => lif_step_scalar(v, refrac, theta, p, 0, spikes_out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe { avx2::lif_step(v, refrac, theta, p, spikes_out) },
+    }
+}
+
+/// Per-column sums of an input-major weight matrix (`weights[i * n_cols
+/// + j]`), written into `out` (cleared and resized to `n_cols`). Columns
+/// accumulate row by row — the same ascending-`i` order as a strided
+/// column walk, so the sums are bit-identical to
+/// `DiehlCookNetwork::column_weights(j).sum()`.
+#[inline]
+pub(crate) fn column_sums(tier: KernelTier, weights: &[f32], n_cols: usize, out: &mut Vec<f32>) {
+    assert!(n_cols > 0, "accel: n_cols must be positive");
+    assert_eq!(weights.len() % n_cols, 0, "accel: ragged weight matrix");
+    out.clear();
+    out.resize(n_cols, 0.0);
+    for row in weights.chunks_exact(n_cols) {
+        add_assign(tier, out, row);
+    }
+}
+
+/// Scales column `j` of an input-major weight matrix by `scales[j]`,
+/// applied row by row. A scale of exactly `1.0` is an IEEE identity, so
+/// callers pass `1.0` for columns that must not move.
+#[inline]
+pub(crate) fn scale_columns(tier: KernelTier, weights: &mut [f32], n_cols: usize, scales: &[f32]) {
+    assert!(n_cols > 0, "accel: n_cols must be positive");
+    assert_eq!(weights.len() % n_cols, 0, "accel: ragged weight matrix");
+    assert_eq!(scales.len(), n_cols, "accel: slice length mismatch");
+    match tier {
+        KernelTier::Scalar => {
+            for row in weights.chunks_exact_mut(n_cols) {
+                mul_assign_scalar(row, scales);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `add_assign`.
+        KernelTier::Avx2 => unsafe {
+            for row in weights.chunks_exact_mut(n_cols) {
+                avx2::mul_assign(row, scales);
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the semantic baseline. The AVX2 kernels below reuse
+// these for their non-multiple-of-8 tails.
+// ---------------------------------------------------------------------------
+
+fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+fn scaled_add_assign_scalar(dst: &mut [f32], src: &[f32], k: f32) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += k * s;
+    }
+}
+
+fn scale_in_place_scalar(xs: &mut [f32], factor: f32) {
+    for x in xs {
+        *x *= factor;
+    }
+}
+
+fn mul_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d *= s;
+    }
+}
+
+fn div_by_theta_gap_scalar(scores: &mut [f32], thetas: &[f32], gap: f32) {
+    for (d, &t) in scores.iter_mut().zip(thetas) {
+        *d /= gap + t.max(0.0);
+    }
+}
+
+fn masked_scaled_add_scalar(v: &mut [f32], refrac: &[u32], currents: &[f32], gain: f32) {
+    for ((v, &r), &c) in v.iter_mut().zip(refrac).zip(currents) {
+        if r == 0 {
+            *v += c * gain;
+        }
+    }
+}
+
+fn masked_add_uniform_scalar(v: &mut [f32], refrac: &[u32], current: f32) {
+    for (v, &r) in v.iter_mut().zip(refrac) {
+        if r == 0 {
+            *v += current;
+        }
+    }
+}
+
+/// The scalar LIF tick; `base` offsets pushed spike indices so the AVX2
+/// kernel can reuse it for its tail lanes.
+fn lif_step_scalar(
+    v: &mut [f32],
+    refrac: &mut [u32],
+    theta: &[f32],
+    p: LifStepParams,
+    base: usize,
+    spikes_out: &mut Vec<usize>,
+) {
+    for i in 0..v.len() {
+        if refrac[i] > 0 {
+            refrac[i] -= 1;
+            continue;
+        }
+        v[i] = p.v_rest + (v[i] - p.v_rest) * p.decay;
+        if v[i] >= p.v_thresh + theta[i] {
+            spikes_out.push(base + i);
+            v[i] = p.v_reset;
+            refrac[i] = p.refractory;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Each processes 8 lanes per iteration with the *same*
+// per-element operations as its scalar counterpart (separate mul/add
+// roundings, IEEE division, masked lanes untouched bitwise) and hands the
+// remainder to the scalar loop.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    use super::LifStepParams;
+
+    const LANES: usize = 8;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, s));
+            i += LANES;
+        }
+        super::add_assign_scalar(&mut dst[i..], &src[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scaled_add_assign(dst: &mut [f32], src: &[f32], k: f32) {
+        let n = dst.len();
+        let kk = _mm256_set1_ps(k);
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            // mul then add as two roundings — no FMA, matching scalar.
+            let prod = _mm256_mul_ps(kk, s);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, prod));
+            i += LANES;
+        }
+        super::scaled_add_assign_scalar(&mut dst[i..], &src[i..], k);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_in_place(xs: &mut [f32], factor: f32) {
+        let n = xs.len();
+        let f = _mm256_set1_ps(factor);
+        let mut i = 0;
+        while i + LANES <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            _mm256_storeu_ps(xs.as_mut_ptr().add(i), _mm256_mul_ps(x, f));
+            i += LANES;
+        }
+        super::scale_in_place_scalar(&mut xs[i..], factor);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(d, s));
+            i += LANES;
+        }
+        super::mul_assign_scalar(&mut dst[i..], &src[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn div_by_theta_gap(scores: &mut [f32], thetas: &[f32], gap: f32) {
+        let n = scores.len();
+        let g = _mm256_set1_ps(gap);
+        let zero = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(scores.as_ptr().add(i));
+            let t = _mm256_loadu_ps(thetas.as_ptr().add(i));
+            // max(t, 0): theta is never NaN and never negative in this
+            // network, so lane semantics match scalar f32::max exactly.
+            let denom = _mm256_add_ps(g, _mm256_max_ps(t, zero));
+            _mm256_storeu_ps(scores.as_mut_ptr().add(i), _mm256_div_ps(d, denom));
+            i += LANES;
+        }
+        super::div_by_theta_gap_scalar(&mut scores[i..], &thetas[i..], gap);
+    }
+
+    /// All-ones lanes where `refrac == 0` (the non-refractory mask).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn active_mask(refrac: &[u32], i: usize) -> __m256i {
+        let r = _mm256_loadu_si256(refrac.as_ptr().add(i).cast());
+        _mm256_cmpeq_epi32(r, _mm256_setzero_si256())
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn masked_scaled_add(
+        v: &mut [f32],
+        refrac: &[u32],
+        currents: &[f32],
+        gain: f32,
+    ) {
+        let n = v.len();
+        let g = _mm256_set1_ps(gain);
+        let mut i = 0;
+        while i + LANES <= n {
+            let active = _mm256_castsi256_ps(active_mask(refrac, i));
+            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
+            let c = _mm256_loadu_ps(currents.as_ptr().add(i));
+            let bumped = _mm256_add_ps(vv, _mm256_mul_ps(c, g));
+            // Refractory lanes keep their exact input bits.
+            _mm256_storeu_ps(v.as_mut_ptr().add(i), _mm256_blendv_ps(vv, bumped, active));
+            i += LANES;
+        }
+        super::masked_scaled_add_scalar(&mut v[i..], &refrac[i..], &currents[i..], gain);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn masked_add_uniform(v: &mut [f32], refrac: &[u32], current: f32) {
+        let n = v.len();
+        let c = _mm256_set1_ps(current);
+        let mut i = 0;
+        while i + LANES <= n {
+            let active = _mm256_castsi256_ps(active_mask(refrac, i));
+            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
+            let bumped = _mm256_add_ps(vv, c);
+            _mm256_storeu_ps(v.as_mut_ptr().add(i), _mm256_blendv_ps(vv, bumped, active));
+            i += LANES;
+        }
+        super::masked_add_uniform_scalar(&mut v[i..], &refrac[i..], current);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lif_step(
+        v: &mut [f32],
+        refrac: &mut [u32],
+        theta: &[f32],
+        p: LifStepParams,
+        spikes_out: &mut Vec<usize>,
+    ) {
+        let n = v.len();
+        let v_rest = _mm256_set1_ps(p.v_rest);
+        let decay = _mm256_set1_ps(p.decay);
+        let v_thresh = _mm256_set1_ps(p.v_thresh);
+        let v_reset = _mm256_set1_ps(p.v_reset);
+        let refr = _mm256_set1_epi32(p.refractory as i32);
+        let one = _mm256_set1_epi32(1);
+        let mut i = 0;
+        while i + LANES <= n {
+            let r = _mm256_loadu_si256(refrac.as_ptr().add(i).cast());
+            let active = _mm256_cmpeq_epi32(r, _mm256_setzero_si256());
+            let active_ps = _mm256_castsi256_ps(active);
+
+            // Leak toward rest on active lanes: v_rest + (v - v_rest) * decay.
+            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
+            let leaked = _mm256_add_ps(v_rest, _mm256_mul_ps(_mm256_sub_ps(vv, v_rest), decay));
+            let v_new = _mm256_blendv_ps(vv, leaked, active_ps);
+
+            // Spike where an active lane crosses v_thresh + theta.
+            let th = _mm256_add_ps(v_thresh, _mm256_loadu_ps(theta.as_ptr().add(i)));
+            let crossed = _mm256_cmp_ps::<_CMP_GE_OQ>(v_new, th);
+            let spike = _mm256_and_ps(crossed, active_ps);
+
+            // Spiking lanes reset; refractory lanes count down; active
+            // non-spiking lanes keep refrac == 0 (blend keeps `r`).
+            let v_fin = _mm256_blendv_ps(v_new, v_reset, spike);
+            _mm256_storeu_ps(v.as_mut_ptr().add(i), v_fin);
+            let r_dec = _mm256_sub_epi32(r, one);
+            let r_keep = _mm256_blendv_epi8(r_dec, r, active);
+            let r_fin = _mm256_blendv_epi8(r_keep, refr, _mm256_castps_si256(spike));
+            _mm256_storeu_si256(refrac.as_mut_ptr().add(i).cast(), r_fin);
+
+            // Extract spiking lanes lowest-first so indices stay ascending.
+            let mut mask = _mm256_movemask_ps(spike) as u32;
+            while mask != 0 {
+                spikes_out.push(i + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
+            i += LANES;
+        }
+        super::lif_step_scalar(&mut v[i..], &mut refrac[i..], &theta[i..], p, i, spikes_out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn force_scalar_parsing() {
+        assert!(!force_scalar_from(None));
+        assert!(!force_scalar_from(Some("")));
+        assert!(!force_scalar_from(Some("0")));
+        assert!(!force_scalar_from(Some("false")));
+        assert!(!force_scalar_from(Some("FALSE")));
+        assert!(!force_scalar_from(Some("  ")));
+        assert!(force_scalar_from(Some("1")));
+        assert!(force_scalar_from(Some("true")));
+        assert!(force_scalar_from(Some("yes")));
+    }
+
+    #[test]
+    fn forced_scalar_overrides_simd() {
+        let caps = CpuCapabilities {
+            avx2: true,
+            force_scalar: true,
+        };
+        assert_eq!(caps.tier(), KernelTier::Scalar);
+        let caps = CpuCapabilities {
+            avx2: false,
+            force_scalar: false,
+        };
+        assert_eq!(caps.tier(), KernelTier::Scalar);
+    }
+
+    #[test]
+    fn scalar_tier_is_always_supported() {
+        assert!(KernelTier::Scalar.supported());
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        // The active tier is by construction executable on this host.
+        assert!(active_tier().supported());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_tier_matches_detection() {
+        assert_eq!(
+            KernelTier::Avx2.supported(),
+            is_x86_feature_detected!("avx2")
+        );
+        assert_eq!(KernelTier::Avx2.name(), "avx2");
+    }
+
+    /// Runs `f` once per tier and asserts the mutated buffer is bitwise
+    /// identical. On hosts without AVX2 this degenerates to scalar-vs-
+    /// scalar, which is still a valid (if trivial) check.
+    fn assert_tiers_bitwise<F: Fn(KernelTier, &mut [f32])>(init: &[f32], f: F) {
+        let mut scalar = init.to_vec();
+        f(KernelTier::Scalar, &mut scalar);
+        #[cfg(target_arch = "x86_64")]
+        if KernelTier::Avx2.supported() {
+            let mut simd = init.to_vec();
+            f(KernelTier::Avx2, &mut simd);
+            let scalar_bits: Vec<u32> = scalar.iter().map(|x| x.to_bits()).collect();
+            let simd_bits: Vec<u32> = simd.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(scalar_bits, simd_bits, "tiers diverged bitwise");
+        }
+    }
+
+    fn rand_vec(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bitwise_identical_across_tiers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Lengths straddle the 8-lane boundary: pure tail, exact lanes,
+        // lanes + tail, and the paper-default population size.
+        for n in [1usize, 5, 8, 13, 16, 27, 50, 384] {
+            let src = rand_vec(&mut rng, n, -2.0, 2.0);
+            let init = rand_vec(&mut rng, n, -70.0, -40.0);
+            let thetas = rand_vec(&mut rng, n, 0.0, 40.0);
+            let refrac: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
+
+            assert_tiers_bitwise(&init, |t, d| add_assign(t, d, &src));
+            assert_tiers_bitwise(&init, |t, d| scaled_add_assign(t, d, &src, 0.7371));
+            assert_tiers_bitwise(&init, |t, d| scale_in_place(t, d, 0.99731));
+            assert_tiers_bitwise(&init, |t, d| div_by_theta_gap(t, d, &thetas, 13.0));
+            assert_tiers_bitwise(&init, |t, d| masked_scaled_add(t, d, &refrac, &src, 2.1));
+            assert_tiers_bitwise(&init, |t, d| masked_add_uniform(t, d, &refrac, -17.5));
+        }
+    }
+
+    #[test]
+    fn lif_step_is_bitwise_identical_across_tiers() {
+        let p = LifStepParams {
+            v_rest: -65.0,
+            decay: 0.99,
+            v_thresh: -52.0,
+            v_reset: -60.0,
+            refractory: 5,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 7, 8, 9, 24, 50] {
+            // Potentials spanning rest-to-above-threshold so some lanes
+            // spike, plus a mix of refractory counters.
+            let v0 = rand_vec(&mut rng, n, -70.0, -45.0);
+            let theta0 = rand_vec(&mut rng, n, 0.0, 5.0);
+            let refrac0: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
+
+            let run = |tier: KernelTier| {
+                let mut v = v0.clone();
+                let mut refrac = refrac0.clone();
+                let mut spikes = Vec::new();
+                let mut all_spikes = Vec::new();
+                // Several ticks so reset/refractory state feeds back.
+                for _ in 0..6 {
+                    lif_step(tier, &mut v, &mut refrac, &theta0, p, &mut spikes);
+                    all_spikes.push(spikes.clone());
+                }
+                let bits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+                (bits, refrac, all_spikes)
+            };
+
+            let scalar = run(KernelTier::Scalar);
+            #[cfg(target_arch = "x86_64")]
+            if KernelTier::Avx2.supported() {
+                let simd = run(KernelTier::Avx2);
+                assert_eq!(scalar.0, simd.0, "potentials diverged (n={n})");
+                assert_eq!(scalar.1, simd.1, "refractory state diverged (n={n})");
+                assert_eq!(scalar.2, simd.2, "spike trains diverged (n={n})");
+            }
+            // Sanity: something fired in at least one configuration.
+            let _ = scalar;
+        }
+    }
+
+    #[test]
+    fn column_kernels_match_strided_walks() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (n_input, n_cols) in [(4usize, 3usize), (24, 8), (16, 1), (384, 50)] {
+            let weights = rand_vec(&mut rng, n_input * n_cols, 0.0, 0.3);
+            let run_sums = |tier: KernelTier| {
+                let mut out = Vec::new();
+                column_sums(tier, &weights, n_cols, &mut out);
+                out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+            };
+            let scalar_sums = run_sums(KernelTier::Scalar);
+            // The strided per-column walk the normalization used to do.
+            let strided: Vec<u32> = (0..n_cols)
+                .map(|j| {
+                    weights[j..]
+                        .iter()
+                        .step_by(n_cols)
+                        .copied()
+                        .sum::<f32>()
+                        .to_bits()
+                })
+                .collect();
+            assert_eq!(scalar_sums, strided, "row-major sums != strided sums");
+            #[cfg(target_arch = "x86_64")]
+            if KernelTier::Avx2.supported() {
+                assert_eq!(scalar_sums, run_sums(KernelTier::Avx2));
+            }
+
+            let scales = rand_vec(&mut rng, n_cols, 0.5, 1.5);
+            let run_scale = |tier: KernelTier| {
+                let mut w = weights.clone();
+                scale_columns(tier, &mut w, n_cols, &scales);
+                w.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+            };
+            let scalar_scaled = run_scale(KernelTier::Scalar);
+            #[cfg(target_arch = "x86_64")]
+            if KernelTier::Avx2.supported() {
+                assert_eq!(scalar_scaled, run_scale(KernelTier::Avx2));
+            }
+            let _ = scalar_scaled;
+        }
+    }
+
+    #[test]
+    fn scale_by_one_is_identity() {
+        // The vectorized normalization leaves clean columns at scale 1.0;
+        // x * 1.0 must reproduce x's bits exactly (incl. signed zero).
+        let xs = [0.0f32, -0.0, 1.5, -2.25, f32::MIN_POSITIVE, 1e30];
+        for tier in tiers() {
+            let mut w = xs.to_vec();
+            scale_columns(tier, &mut w, xs.len(), &vec![1.0; xs.len()]);
+            let got: Vec<u32> = w.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = xs.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "x * 1.0 must be bitwise identity");
+        }
+    }
+
+    /// Every tier executable on this host.
+    fn tiers() -> Vec<KernelTier> {
+        let mut t = vec![KernelTier::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        if KernelTier::Avx2.supported() {
+            t.push(KernelTier::Avx2);
+        }
+        t
+    }
+}

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accel;
 pub mod config;
 pub mod encoding;
 pub mod lif;
@@ -41,6 +42,7 @@ pub mod monitor;
 pub mod network;
 pub mod reference;
 
+pub use accel::{active_tier, CpuCapabilities, KernelTier};
 pub use config::{LifConfig, SnnConfig, StdpConfig};
 pub use encoding::PoissonEncoder;
 pub use lif::LifLayer;

@@ -1,5 +1,13 @@
 //! A vectorized population of leaky-integrate-and-fire neurons.
+//!
+//! The bulk operations (`inject_all`, `inject_uniform`, `step`,
+//! `decay_theta_by`) dispatch through [`crate::accel`]: each layer captures
+//! a [`KernelTier`] at construction and routes its hot loops to the scalar
+//! or AVX2 kernels accordingly. The tiers are bit-identical (see the
+//! `accel` module docs), so the choice is invisible to everything but the
+//! clock.
 
+use crate::accel::{self, KernelTier, LifStepParams};
 use crate::config::LifConfig;
 
 /// State of one LIF population: potentials, refractory timers, and (for
@@ -16,23 +24,51 @@ pub struct LifLayer {
     theta: Vec<f32>,
     /// Precomputed per-tick decay factor `exp(-dt / tc_decay)`.
     decay: f32,
+    /// The kernel tier the bulk operations dispatch to.
+    tier: KernelTier,
 }
 
 impl LifLayer {
-    /// Creates a population of `n` neurons at rest.
+    /// Creates a population of `n` neurons at rest, dispatching its bulk
+    /// operations to the process-wide [`accel::active_tier`].
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, config: LifConfig) -> Self {
+        Self::with_tier(n, config, accel::active_tier())
+    }
+
+    /// Creates a population of `n` neurons at rest with an explicit kernel
+    /// tier. Used by tier-pinning tests and by
+    /// `DiehlCookNetwork::with_kernel_tier`; most callers want
+    /// [`LifLayer::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `tier` is not supported on this host
+    /// (`tier.supported()` is false) — running SIMD kernels without their
+    /// CPU feature would be undefined behaviour, so construction refuses.
+    pub fn with_tier(n: usize, config: LifConfig, tier: KernelTier) -> Self {
         assert!(n > 0, "population must be non-empty");
+        assert!(
+            tier.supported(),
+            "kernel tier {:?} is not supported on this host",
+            tier
+        );
         LifLayer {
             config,
             v: vec![config.v_rest; n],
             refrac: vec![0; n],
             theta: vec![0.0; n],
             decay: (-1.0 / config.tc_decay).exp(),
+            tier,
         }
+    }
+
+    /// The kernel tier this layer's bulk operations dispatch to.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Population size.
@@ -82,11 +118,7 @@ impl LifLayer {
     #[inline]
     pub fn inject_all(&mut self, currents: &[f32], gain: f32) {
         assert_eq!(currents.len(), self.v.len(), "drive buffer length");
-        for ((v, r), &c) in self.v.iter_mut().zip(&self.refrac).zip(currents) {
-            if *r == 0 {
-                *v += c * gain;
-            }
-        }
+        accel::masked_scaled_add(self.tier, &mut self.v, &self.refrac, currents, gain);
     }
 
     /// Injects the same `current` into every non-refractory neuron. Batched
@@ -94,33 +126,30 @@ impl LifLayer {
     /// each firing neuron's own contribution back with [`LifLayer::inject`].
     #[inline]
     pub fn inject_uniform(&mut self, current: f32) {
-        for (v, r) in self.v.iter_mut().zip(&self.refrac) {
-            if *r == 0 {
-                *v += current;
-            }
-        }
+        accel::masked_add_uniform(self.tier, &mut self.v, &self.refrac, current);
     }
 
     /// Advances one tick: decays potentials toward rest, decrements
     /// refractory timers, and collects spikes into `spikes_out` (indices of
-    /// neurons that crossed threshold). Spiking neurons reset and enter
-    /// their refractory period.
+    /// neurons that crossed threshold, in ascending order). Spiking neurons
+    /// reset and enter their refractory period.
     pub fn step(&mut self, spikes_out: &mut Vec<usize>) {
-        spikes_out.clear();
         let c = &self.config;
-        for i in 0..self.v.len() {
-            if self.refrac[i] > 0 {
-                self.refrac[i] -= 1;
-                continue;
-            }
-            // Leak toward rest.
-            self.v[i] = c.v_rest + (self.v[i] - c.v_rest) * self.decay;
-            if self.v[i] >= c.v_thresh + self.theta[i] {
-                spikes_out.push(i);
-                self.v[i] = c.v_reset;
-                self.refrac[i] = c.refractory;
-            }
-        }
+        let p = LifStepParams {
+            v_rest: c.v_rest,
+            decay: self.decay,
+            v_thresh: c.v_thresh,
+            v_reset: c.v_reset,
+            refractory: c.refractory,
+        };
+        accel::lif_step(
+            self.tier,
+            &mut self.v,
+            &mut self.refrac,
+            &self.theta,
+            p,
+            spikes_out,
+        );
     }
 
     /// Raises neuron `i`'s adaptive threshold by `theta_plus`.
@@ -140,9 +169,7 @@ impl LifLayer {
     /// cached factor here instead.
     #[inline]
     pub fn decay_theta_by(&mut self, factor: f32) {
-        for t in &mut self.theta {
-            *t *= factor;
-        }
+        accel::scale_in_place(self.tier, &mut self.theta, factor);
     }
 
     /// Resets potentials and refractory state (not theta) for the next input
@@ -278,6 +305,34 @@ mod tests {
         l.reset_state();
         assert_eq!(l.potentials()[0], -65.0);
         assert_eq!(l.thetas()[0], 0.5);
+    }
+
+    #[test]
+    fn forced_scalar_layer_matches_dispatched_layer_bitwise() {
+        let mut native = layer(13);
+        let mut scalar = LifLayer::with_tier(13, LifConfig::excitatory(), KernelTier::Scalar);
+        assert_eq!(scalar.kernel_tier(), KernelTier::Scalar);
+        let currents: Vec<f32> = (0..13).map(|i| (i as f32) * 1.3 - 2.0).collect();
+        let mut spikes_a = Vec::new();
+        let mut spikes_b = Vec::new();
+        for tick in 0..20 {
+            for l in [&mut native, &mut scalar] {
+                l.inject_all(&currents, 2.1);
+                l.inject_uniform(if tick % 3 == 0 { -4.0 } else { 0.5 });
+            }
+            native.step(&mut spikes_a);
+            scalar.step(&mut spikes_b);
+            assert_eq!(spikes_a, spikes_b, "spikes diverged at tick {tick}");
+            for &j in &spikes_a {
+                native.bump_theta(j, 0.05);
+                scalar.bump_theta(j, 0.05);
+            }
+            native.decay_theta_by(0.999);
+            scalar.decay_theta_by(0.999);
+        }
+        let a: Vec<u32> = native.potentials().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = scalar.potentials().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "potentials must be bitwise identical across tiers");
     }
 
     #[test]

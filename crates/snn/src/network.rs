@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::accel::{self, KernelTier};
 use crate::config::SnnConfig;
 use crate::encoding::PoissonEncoder;
 use crate::lif::LifLayer;
@@ -152,18 +153,51 @@ pub struct DiehlCookNetwork {
     /// tick (kept outside [`PresentScratch`] because both kernels' STDP
     /// shares it).
     pub(crate) hot_posts: Vec<usize>,
+    /// The kernel tier the network's dense loops dispatch to (captured at
+    /// construction; see [`crate::accel`]).
+    pub(crate) tier: KernelTier,
+    /// Per-column weight sums for the vectorized normalization pass (kept
+    /// outside [`PresentScratch`] because `normalize_dirty` runs while the
+    /// scratch is taken out of `self`).
+    pub(crate) norm_sums: Vec<f32>,
+    /// Per-column scale factors for the vectorized normalization pass.
+    pub(crate) norm_scales: Vec<f32>,
 }
 
 impl DiehlCookNetwork {
     /// Creates a network with uniformly random initial weights in
     /// `[0, 0.3]` (BindsNet's DiehlAndCook2015 default), normalized to the
-    /// configured per-neuron sum.
+    /// configured per-neuron sum. Dense loops dispatch to the process-wide
+    /// [`accel::active_tier`] (AVX2 where detected, scalar otherwise, or
+    /// scalar when `PATHFINDER_FORCE_SCALAR` is set).
     ///
     /// # Errors
     ///
     /// Returns the validation message if `cfg` is inconsistent.
     pub fn new(cfg: SnnConfig, seed: u64) -> Result<Self, String> {
+        Self::with_kernel_tier(cfg, seed, accel::active_tier())
+    }
+
+    /// Like [`DiehlCookNetwork::new`] but with an explicit [`KernelTier`]
+    /// instead of the auto-detected one. The tiers are bit-identical (see
+    /// the [`crate::accel`] contract), so this exists for tier-pinning
+    /// tests and benchmarks that compare the dispatched kernels against
+    /// the scalar fallback — production code should call `new`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `cfg` is inconsistent, or an
+    /// error if `tier` is not supported on this host (running SIMD
+    /// kernels without their CPU feature would be undefined behaviour,
+    /// so construction refuses).
+    pub fn with_kernel_tier(cfg: SnnConfig, seed: u64, tier: KernelTier) -> Result<Self, String> {
         cfg.validate()?;
+        if !tier.supported() {
+            return Err(format!(
+                "kernel tier {:?} is not supported on this host",
+                tier
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = vec![0.0f32; cfg.n_input * cfg.n_exc];
         for w in &mut weights {
@@ -171,8 +205,8 @@ impl DiehlCookNetwork {
         }
         let mut net = DiehlCookNetwork {
             encoder: PoissonEncoder::new(cfg.max_rate),
-            exc: LifLayer::new(cfg.n_exc, cfg.exc_lif),
-            inh: LifLayer::new(cfg.n_exc, cfg.inh_lif),
+            exc: LifLayer::with_tier(cfg.n_exc, cfg.exc_lif, tier),
+            inh: LifLayer::with_tier(cfg.n_exc, cfg.inh_lif, tier),
             x_pre: vec![0.0; cfg.n_input],
             x_post: vec![0.0; cfg.n_exc],
             dirty_cols: vec![true; cfg.n_exc],
@@ -185,10 +219,18 @@ impl DiehlCookNetwork {
             frozen_salt: splitmix64(seed ^ 0xF0E1_D2C3_B4A5_9687),
             scratch: PresentScratch::default(),
             hot_posts: Vec::new(),
+            tier,
+            norm_sums: Vec::new(),
+            norm_scales: Vec::new(),
             cfg,
         };
         net.normalize_dirty();
         Ok(net)
+    }
+
+    /// The kernel tier this network's dense loops dispatch to.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// The configuration in use.
@@ -350,9 +392,7 @@ impl DiehlCookNetwork {
                 s.drive.fill(0.0);
                 for &i in &s.input_spikes {
                     let row = &self.weights[i * n_exc..(i + 1) * n_exc];
-                    for (d, &w) in s.drive.iter_mut().zip(row) {
-                        *d += w;
-                    }
+                    accel::add_assign(self.tier, &mut s.drive, row);
                 }
                 self.exc.inject_all(&s.drive, gain);
             }
@@ -468,16 +508,11 @@ impl DiehlCookNetwork {
         for (i, &r) in rates.iter().enumerate() {
             if r > 0.0 {
                 let row = &self.weights[i * n_exc..(i + 1) * n_exc];
-                for (d, &w) in out.iter_mut().zip(row) {
-                    *d += r * w;
-                }
+                accel::scaled_add_assign(self.tier, out, row, r);
             }
         }
         let gap = self.cfg.exc_lif.v_thresh - self.cfg.exc_lif.v_rest;
-        let thetas = self.exc.thetas();
-        for (d, &t) in out.iter_mut().zip(thetas) {
-            *d /= gap + t.max(0.0);
-        }
+        accel::div_by_theta_gap(self.tier, out, self.exc.thetas(), gap);
     }
 
     /// Allocating wrapper around
@@ -602,32 +637,62 @@ impl DiehlCookNetwork {
     }
 
     /// Renormalizes the incoming-weight sum of every column STDP touched to
-    /// `norm` (Table 4: 38.4), as BindsNet does after each sample. Both
-    /// passes walk the column as a strided view
-    /// ([`DiehlCookNetwork::column_weights`]) instead of re-gathering by
-    /// index.
+    /// `norm` (Table 4: 38.4), as BindsNet does after each sample.
+    ///
+    /// Two equivalent passes, picked by how much of the matrix is dirty:
+    /// when most columns need renormalizing (a learning presentation
+    /// typically dirties them all), a *row-major* pass accumulates every
+    /// column's sum in contiguous [`accel`]-dispatched sweeps over the
+    /// weight rows and then rescales rows elementwise, with clean columns
+    /// held at the exact-identity scale `1.0`; when only a few columns are
+    /// dirty, the original strided per-column walk
+    /// ([`DiehlCookNetwork::column_weights`]) touches just those. Both
+    /// paths visit each column's weights in the same ascending-input order,
+    /// so their results are bit-identical.
     pub(crate) fn normalize_dirty(&mut self) {
         let n_exc = self.cfg.n_exc;
-        let mut normalized = 0u64;
-        for j in 0..n_exc {
-            if !self.dirty_cols[j] {
-                continue;
-            }
-            self.dirty_cols[j] = false;
-            if telemetry::enabled() {
-                normalized += 1;
-            }
-            let sum: f32 = self.column_weights(j).sum();
-            if sum > 0.0 {
-                let scale = self.cfg.stdp.norm / sum;
-                for w in self.weights[j..].iter_mut().step_by(n_exc) {
-                    *w *= scale;
+        let dirty = self.dirty_cols.iter().filter(|&&d| d).count();
+        if dirty == 0 {
+            return;
+        }
+        // Row-major pays one full-matrix sweep regardless of the dirty
+        // count; it wins once a quarter or more of the columns need work.
+        if dirty * 4 >= n_exc {
+            let mut sums = std::mem::take(&mut self.norm_sums);
+            let mut scales = std::mem::take(&mut self.norm_scales);
+            accel::column_sums(self.tier, &self.weights, n_exc, &mut sums);
+            scales.clear();
+            scales.extend(sums.iter().zip(&self.dirty_cols).map(|(&sum, &d)| {
+                // Columns left alone (clean, or an all-zero sum the strided
+                // path would skip) scale by exactly 1.0 — an IEEE identity.
+                if d && sum > 0.0 {
+                    self.cfg.stdp.norm / sum
+                } else {
+                    1.0
+                }
+            }));
+            accel::scale_columns(self.tier, &mut self.weights, n_exc, &scales);
+            self.dirty_cols.fill(false);
+            self.norm_sums = sums;
+            self.norm_scales = scales;
+        } else {
+            for j in 0..n_exc {
+                if !self.dirty_cols[j] {
+                    continue;
+                }
+                self.dirty_cols[j] = false;
+                let sum: f32 = self.column_weights(j).sum();
+                if sum > 0.0 {
+                    let scale = self.cfg.stdp.norm / sum;
+                    for w in self.weights[j..].iter_mut().step_by(n_exc) {
+                        *w *= scale;
+                    }
                 }
             }
         }
-        if telemetry::enabled() && normalized > 0 {
+        if telemetry::enabled() {
             telemetry::counter!("snn.norm.passes", 1);
-            telemetry::counter!("snn.norm.columns", normalized);
+            telemetry::counter!("snn.norm.columns", dirty as u64);
         }
     }
 
@@ -757,9 +822,7 @@ impl DiehlCookNetwork {
                 s.drive.fill(0.0);
                 for &a in &s.input_spikes {
                     let row = &s.packed_weights[a * n_exc..(a + 1) * n_exc];
-                    for (d, &w) in s.drive.iter_mut().zip(row) {
-                        *d += w;
-                    }
+                    accel::add_assign(self.tier, &mut s.drive, row);
                 }
                 self.exc.inject_all(&s.drive, gain);
             }

@@ -1,0 +1,578 @@
+//! # pathfinder-accel
+//!
+//! Shared runtime SIMD dispatch for the workspace's hot loops, plus the
+//! integer scan kernels the flat replay engine is built on.
+//!
+//! The dispatch machinery ([`CpuCapabilities`], [`KernelTier`],
+//! [`active_tier`], and the `PATHFINDER_FORCE_SCALAR` override) started
+//! life in `snn::accel` (PR 6) gating the f32 presentation kernels; this
+//! crate lifts it out so the `sim` crate's integer scans — and any future
+//! accelerated subsystem — share one capability probe, one tier enum, and
+//! one override, instead of each crate growing its own. `pathfinder-snn`
+//! re-exports these types unchanged, so existing `snn::accel` users are
+//! unaffected.
+//!
+//! ## The integer kernel family
+//!
+//! The timed replay's hot loops are contiguous `u64` walks: the packed
+//! tag+valid lookup scan in `Cache::find`, the LRU victim min-scan in
+//! `Cache::fill_victim`, and the threshold/min scans in `MshrTracker` and
+//! `DramModel`. This crate provides them as tier-dispatched kernels:
+//!
+//! * [`find_eq_u64`] — position of the first element equal to a needle
+//!   (`_mm256_cmpeq_epi64` + movemask on the AVX2 tier).
+//! * [`min_u64`] — minimum value (lane-wise `u64` min reduction).
+//! * [`min_index_u64`] — index of the **first** minimum, matching a
+//!   scalar strict-`<` walk.
+//! * [`min2_index_u64`] — first-minimum index, the minimum, and the
+//!   runner-up minimum in one call (the MSHR `pop_earliest` shape).
+//!
+//! ## The bit-identity contract
+//!
+//! Unlike the SNN's f32 kernels — which keep bit-identity only by
+//! carefully avoiding FMA contraction and re-associated reductions —
+//! integer comparisons and minima are exact: any evaluation order yields
+//! the same minimum, and "first index equal to the minimum" is exactly
+//! the index a strict-`<` scalar scan keeps. The AVX2 tier is therefore
+//! bit-identical to the scalar tier **by construction**, for every input.
+//! The `sim::reference` engine/cache equivalence proptests pin both tiers
+//! with no tolerance machinery, and CI re-runs them under
+//! `PATHFINDER_FORCE_SCALAR=1`.
+//!
+//! AVX2 has no unsigned 64-bit compare, so the SIMD min kernels operate
+//! on sign-bias-flipped values (`x ^ (1 << 63)`), under which signed
+//! `_mm256_cmpgt_epi64` ordering coincides with unsigned `u64` ordering
+//! across the whole domain — including values at and above `2^63`.
+//!
+//! ## Forcing the scalar tier
+//!
+//! Setting `PATHFINDER_FORCE_SCALAR` to anything other than `0`, `false`,
+//! or the empty string makes [`active_tier`] return [`KernelTier::Scalar`]
+//! regardless of CPU support. The variable is read once per process (the
+//! tier is cached in a `OnceLock`); changing it at runtime has no effect
+//! on structures already constructed or on later [`active_tier`] calls.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::OnceLock;
+
+/// The CPU features (and process-level overrides) relevant to kernel
+/// dispatch, probed once via [`CpuCapabilities::detect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCapabilities {
+    /// Host supports AVX2 (256-bit lanes), per
+    /// `is_x86_feature_detected!("avx2")`. Always `false` off x86-64.
+    pub avx2: bool,
+    /// The `PATHFINDER_FORCE_SCALAR` environment override is active, which
+    /// pins dispatch to [`KernelTier::Scalar`] regardless of `avx2`.
+    pub force_scalar: bool,
+}
+
+impl CpuCapabilities {
+    /// Probes the host CPU and the process environment.
+    pub fn detect() -> Self {
+        CpuCapabilities {
+            avx2: avx2_available(),
+            force_scalar: force_scalar_from(
+                std::env::var("PATHFINDER_FORCE_SCALAR").ok().as_deref(),
+            ),
+        }
+    }
+
+    /// The kernel tier this capability set dispatches to: the widest
+    /// supported SIMD tier, unless `force_scalar` pins it to
+    /// [`KernelTier::Scalar`].
+    pub fn tier(self) -> KernelTier {
+        if self.force_scalar {
+            return KernelTier::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2 {
+            return KernelTier::Avx2;
+        }
+        KernelTier::Scalar
+    }
+}
+
+/// Whether the host CPU supports AVX2 (always `false` off x86-64).
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Parses the `PATHFINDER_FORCE_SCALAR` value: unset, empty, `0`, and
+/// `false` (any case) leave dispatch alone; anything else forces scalar.
+fn force_scalar_from(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+    }
+}
+
+/// Which kernel implementation a structure dispatches its hot loops to.
+///
+/// A tier is selected once per structure at construction (from
+/// [`active_tier`] by default, or explicitly via the `with_tier` /
+/// `with_kernel_tier` constructors on `LifLayer`, `DiehlCookNetwork`,
+/// `Cache`, and `Simulator`) and used for every operation that structure
+/// runs. Tiers are *behaviourally identical* — see the bit-identity
+/// contract in the [crate docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable scalar loops; always available, and the semantic baseline
+    /// the SIMD tiers are pinned against.
+    Scalar,
+    /// AVX2 kernels: 8-wide f32 lanes for the SNN arithmetic and 4-wide
+    /// `u64` lanes for the replay scans. Only constructible on hosts where
+    /// `is_x86_feature_detected!("avx2")` holds (checked constructors
+    /// refuse it elsewhere).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl KernelTier {
+    /// Stable lowercase name for reports and bench documents
+    /// (`"scalar"` / `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the host CPU can execute this tier. [`KernelTier::Scalar`]
+    /// is always supported; SIMD tiers require their feature probe to
+    /// pass. Constructors that accept an explicit tier call this and
+    /// reject unsupported requests, which keeps "a tier value exists" from
+    /// ever implying "its instructions are safe to run here".
+    pub fn supported(self) -> bool {
+        match self {
+            KernelTier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => is_x86_feature_detected!("avx2"),
+        }
+    }
+}
+
+/// The process-wide dispatch decision: [`CpuCapabilities::detect`]
+/// evaluated once and cached. Default constructors across the workspace
+/// (`DiehlCookNetwork::new`, `LifLayer::new`, `Cache::new`,
+/// `Simulator::new`, ...) capture this value at construction.
+pub fn active_tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(|| CpuCapabilities::detect().tier())
+}
+
+// ---------------------------------------------------------------------------
+// Integer scan kernels. Each dispatch wrapper routes to the scalar loop or
+// (behind the capability check encoded in the tier's construction) the AVX2
+// kernel; results are bit-identical by construction.
+// ---------------------------------------------------------------------------
+
+/// Position of the first element equal to `needle` — the packed tag+valid
+/// lookup scan of `Cache::find`.
+#[inline]
+pub fn find_eq_u64(tier: KernelTier, xs: &[u64], needle: u64) -> Option<usize> {
+    match tier {
+        KernelTier::Scalar => find_eq_u64_scalar(xs, needle),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: an Avx2 tier is only constructed after a successful
+        // `is_x86_feature_detected!("avx2")` probe (see KernelTier docs).
+        KernelTier::Avx2 => unsafe { avx2::find_eq_u64(xs, needle) },
+    }
+}
+
+/// Minimum value of a slice (`u64::MAX` when empty) — the cached-earliest
+/// recompute in `MshrTracker` and `DramModel` threshold drains.
+#[inline]
+pub fn min_u64(tier: KernelTier, xs: &[u64]) -> u64 {
+    match tier {
+        KernelTier::Scalar => min_u64_scalar(xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `find_eq_u64`.
+        KernelTier::Avx2 => unsafe { avx2::min_u64(xs) },
+    }
+}
+
+/// Index of the **first** minimum — the LRU victim scan of
+/// `Cache::fill_victim`. Identical to a scalar strict-`<` walk: the AVX2
+/// tier reduces the minimum value lane-wise, then takes the first index
+/// equal to it, which is the same element the strict-`<` walk keeps.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty (a victim scan over zero ways is a caller bug).
+#[inline]
+pub fn min_index_u64(tier: KernelTier, xs: &[u64]) -> usize {
+    assert!(!xs.is_empty(), "accel: min_index_u64 over an empty slice");
+    match tier {
+        KernelTier::Scalar => min_index_u64_scalar(xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `find_eq_u64`.
+        KernelTier::Avx2 => unsafe {
+            let m = avx2::min_u64(xs);
+            avx2::find_eq_u64(xs, m).expect("minimum value must be present")
+        },
+    }
+}
+
+/// One-call min-and-runner-up: returns `(first_min_index, min, runner_up)`
+/// where `runner_up` is the second-smallest element counting duplicates
+/// (`u64::MAX` for a one-element slice) — so after removing the element at
+/// `first_min_index`, the minimum of the remainder is exactly `runner_up`.
+/// This is the `MshrTracker::pop_earliest` shape: one scan replaces the
+/// old find-the-min pass plus rebuild-the-minimum pass.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[inline]
+pub fn min2_index_u64(tier: KernelTier, xs: &[u64]) -> (usize, u64, u64) {
+    assert!(!xs.is_empty(), "accel: min2_index_u64 over an empty slice");
+    match tier {
+        KernelTier::Scalar => min2_index_u64_scalar(xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `find_eq_u64`.
+        KernelTier::Avx2 => unsafe { avx2::min2_index_u64(xs) },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the semantic baseline. The AVX2 kernels reuse these for
+// their non-multiple-of-4 tails.
+// ---------------------------------------------------------------------------
+
+fn find_eq_u64_scalar(xs: &[u64], needle: u64) -> Option<usize> {
+    xs.iter().position(|&x| x == needle)
+}
+
+fn min_u64_scalar(xs: &[u64]) -> u64 {
+    xs.iter().copied().fold(u64::MAX, u64::min)
+}
+
+fn min_index_u64_scalar(xs: &[u64]) -> usize {
+    let mut min_idx = 0;
+    let mut min = u64::MAX;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < min {
+            min = x;
+            min_idx = i;
+        }
+    }
+    min_idx
+}
+
+/// The single-pass min-and-runner-up scan: strictly-smaller elements
+/// displace the minimum (so the first minimum's index is kept) and the
+/// displaced value — or any later duplicate of the minimum — becomes the
+/// runner-up candidate.
+fn min2_index_u64_scalar(xs: &[u64]) -> (usize, u64, u64) {
+    let mut min_idx = 0;
+    let mut min = xs[0];
+    let mut runner = u64::MAX;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < min {
+            runner = min;
+            min = x;
+            min_idx = i;
+        } else if x < runner {
+            runner = x;
+        }
+    }
+    (min_idx, min, runner)
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. 4 u64 lanes per 256-bit vector. Unsigned order is obtained
+// from the signed `_mm256_cmpgt_epi64` by flipping the sign bit of both
+// operands (`x ^ (1 << 63)`), which is an order-isomorphism from u64 to
+// i64 — exact for every input, so the tiers stay bit-identical.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4;
+
+    /// The sign-bias vector: `x ^ SIGN` maps unsigned order onto signed.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sign_bias() -> __m256i {
+        _mm256_set1_epi64x(i64::MIN)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn find_eq_u64(xs: &[u64], needle: u64) -> Option<usize> {
+        let n = xs.len();
+        let nv = _mm256_set1_epi64x(needle as i64);
+        let mut i = 0;
+        while i + LANES <= n {
+            let x = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+            let eq = _mm256_cmpeq_epi64(x, nv);
+            let mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
+            if mask != 0 {
+                // Lowest set lane first, so the first match wins even when
+                // several lanes of this vector match.
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += LANES;
+        }
+        super::find_eq_u64_scalar(&xs[i..], needle).map(|j| i + j)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn min_u64(xs: &[u64]) -> u64 {
+        let n = xs.len();
+        let mut i = 0;
+        let mut acc = u64::MAX;
+        if n >= LANES {
+            let bias = sign_bias();
+            // u64::MAX biased is i64::MAX: the identity of the biased min.
+            let mut vmin = _mm256_set1_epi64x(i64::MAX);
+            while i + LANES <= n {
+                let x = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+                let xb = _mm256_xor_si256(x, bias);
+                let gt = _mm256_cmpgt_epi64(vmin, xb);
+                vmin = _mm256_blendv_epi8(vmin, xb, gt);
+                i += LANES;
+            }
+            let mut lanes = [0u64; LANES];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), vmin);
+            for lane in lanes {
+                // Un-bias while folding; u64 min is order-insensitive.
+                acc = acc.min(lane ^ (1u64 << 63));
+            }
+        }
+        acc.min(super::min_u64_scalar(&xs[i..]))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn min2_index_u64(xs: &[u64]) -> (usize, u64, u64) {
+        let n = xs.len();
+        let mut i = 0;
+        // Two-smallest fold over candidate values; the multiset of
+        // candidates always contains the two smallest elements of `xs`.
+        let mut min = u64::MAX;
+        let mut runner = u64::MAX;
+        let mut fold = |v: u64| {
+            if v < min {
+                runner = min;
+                min = v;
+            } else if v < runner {
+                runner = v;
+            }
+        };
+        if n >= LANES {
+            let bias = sign_bias();
+            let mut vmin = _mm256_set1_epi64x(i64::MAX);
+            let mut vrun = _mm256_set1_epi64x(i64::MAX);
+            while i + LANES <= n {
+                let x = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+                let xb = _mm256_xor_si256(x, bias);
+                // Where the new value beats the stripe minimum, the old
+                // minimum is displaced into the runner-up race; elsewhere
+                // the new value itself races for runner-up.
+                let gt = _mm256_cmpgt_epi64(vmin, xb);
+                let cand = _mm256_blendv_epi8(xb, vmin, gt);
+                vmin = _mm256_blendv_epi8(vmin, xb, gt);
+                let gt2 = _mm256_cmpgt_epi64(vrun, cand);
+                vrun = _mm256_blendv_epi8(vrun, cand, gt2);
+                i += LANES;
+            }
+            // Each lane holds its stripe's min and runner-up, so the two
+            // global smallest are among these 8 values (plus the tail).
+            let mut lanes = [0u64; 2 * LANES];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), vmin);
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(LANES).cast(), vrun);
+            for lane in lanes {
+                fold(lane ^ (1u64 << 63));
+            }
+        }
+        for &x in &xs[i..] {
+            fold(x);
+        }
+        // First index equal to the minimum == the index a strict-`<` scan
+        // keeps (later duplicates never displace it).
+        let idx = find_eq_u64(xs, min).expect("minimum value must be present");
+        (idx, min, runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_parsing() {
+        assert!(!force_scalar_from(None));
+        assert!(!force_scalar_from(Some("")));
+        assert!(!force_scalar_from(Some("0")));
+        assert!(!force_scalar_from(Some("false")));
+        assert!(!force_scalar_from(Some("FALSE")));
+        assert!(!force_scalar_from(Some("  ")));
+        assert!(force_scalar_from(Some("1")));
+        assert!(force_scalar_from(Some("true")));
+        assert!(force_scalar_from(Some("yes")));
+    }
+
+    #[test]
+    fn forced_scalar_overrides_simd() {
+        let caps = CpuCapabilities {
+            avx2: true,
+            force_scalar: true,
+        };
+        assert_eq!(caps.tier(), KernelTier::Scalar);
+        let caps = CpuCapabilities {
+            avx2: false,
+            force_scalar: false,
+        };
+        assert_eq!(caps.tier(), KernelTier::Scalar);
+    }
+
+    #[test]
+    fn scalar_tier_is_always_supported() {
+        assert!(KernelTier::Scalar.supported());
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        // The active tier is by construction executable on this host.
+        assert!(active_tier().supported());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_tier_matches_detection() {
+        assert_eq!(
+            KernelTier::Avx2.supported(),
+            is_x86_feature_detected!("avx2")
+        );
+        assert_eq!(KernelTier::Avx2.name(), "avx2");
+    }
+
+    /// Every tier executable on this host.
+    fn tiers() -> Vec<KernelTier> {
+        let mut t = vec![KernelTier::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        if KernelTier::Avx2.supported() {
+            t.push(KernelTier::Avx2);
+        }
+        t
+    }
+
+    /// Splitmix-ish deterministic u64 stream.
+    fn rand_vec(seed: u64, n: usize, mask: u64) -> Vec<u64> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 7) & mask
+            })
+            .collect()
+    }
+
+    /// Lengths straddling the 4-lane boundary: pure tail, exact lanes,
+    /// lanes + tail, and way-count-sized cases (12/16 are the Table 3 L1D
+    /// and LLC associativities).
+    const LENGTHS: [usize; 9] = [1, 2, 3, 4, 5, 8, 12, 13, 16];
+
+    #[test]
+    fn find_eq_matches_scalar_across_tiers() {
+        for (seed, n) in LENGTHS.iter().enumerate().map(|(s, &n)| (s as u64, n)) {
+            // A small mask forces duplicates, so "first match" is tested.
+            let xs = rand_vec(seed, n, 0xF);
+            for needle in 0..=0x10u64 {
+                let want = find_eq_u64_scalar(&xs, needle);
+                for tier in tiers() {
+                    assert_eq!(
+                        find_eq_u64(tier, &xs, needle),
+                        want,
+                        "tier {tier:?}, n={n}, needle={needle}, xs={xs:?}"
+                    );
+                }
+            }
+            assert_eq!(find_eq_u64(active_tier(), &[], 7), None);
+        }
+    }
+
+    #[test]
+    fn min_kernels_match_scalar_across_tiers() {
+        for (seed, n) in LENGTHS.iter().enumerate().map(|(s, &n)| (s as u64, n)) {
+            // Full-range values (including above 2^63) exercise the
+            // sign-bias trick; a masked copy forces duplicate minima.
+            for xs in [rand_vec(seed, n, u64::MAX), rand_vec(seed, n, 0x7)] {
+                let want_min = min_u64_scalar(&xs);
+                let want_idx = min_index_u64_scalar(&xs);
+                let want2 = min2_index_u64_scalar(&xs);
+                for tier in tiers() {
+                    assert_eq!(min_u64(tier, &xs), want_min, "tier {tier:?}, xs={xs:?}");
+                    assert_eq!(
+                        min_index_u64(tier, &xs),
+                        want_idx,
+                        "tier {tier:?}, xs={xs:?}"
+                    );
+                    assert_eq!(min2_index_u64(tier, &xs), want2, "tier {tier:?}, xs={xs:?}");
+                }
+            }
+        }
+        for tier in tiers() {
+            assert_eq!(min_u64(tier, &[]), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn min2_runner_up_is_min_of_remainder() {
+        // The pop_earliest contract: after swap-removing the element at the
+        // returned index, the remainder's minimum equals the runner-up.
+        for seed in 0..32u64 {
+            for n in LENGTHS {
+                let xs = rand_vec(seed, n, 0x3F);
+                for tier in tiers() {
+                    let (idx, min, runner) = min2_index_u64(tier, &xs);
+                    assert_eq!(xs[idx], min);
+                    assert_eq!(xs.iter().position(|&x| x == min), Some(idx), "first min");
+                    let mut rest = xs.clone();
+                    rest.swap_remove(idx);
+                    assert_eq!(min_u64_scalar(&rest), runner, "xs={xs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values_survive_the_sign_bias() {
+        // Values straddling 2^63 would order wrongly under a plain signed
+        // compare; the bias must keep true unsigned order.
+        let xs = [
+            u64::MAX,
+            1u64 << 63,
+            (1u64 << 63) - 1,
+            0,
+            u64::MAX - 1,
+            1,
+            1u64 << 62,
+            (1u64 << 63) + 1,
+        ];
+        for tier in tiers() {
+            assert_eq!(min_u64(tier, &xs), 0);
+            assert_eq!(min_index_u64(tier, &xs), 3);
+            assert_eq!(min2_index_u64(tier, &xs), (3, 0, 1));
+        }
+        // All-duplicate slice: index 0, runner-up equals the minimum.
+        let dup = [5u64; 7];
+        for tier in tiers() {
+            assert_eq!(min2_index_u64(tier, &dup), (0, 5, 5));
+        }
+    }
+}

@@ -21,7 +21,7 @@ fn cache_ops(c: &mut Criterion) {
     group.bench_function("hit", |b| {
         let mut cache = Cache::new(CacheConfig::new(2048, 16, 20));
         cache.fill(Block(42), false, 0);
-        b.iter(|| cache.demand_access(Block(42), 0))
+        b.iter(|| cache.demand_access(Block(42)))
     });
     group.bench_function("miss_fill_evict", |b| {
         let mut cache = Cache::new(CacheConfig::new(64, 4, 1));
@@ -29,7 +29,7 @@ fn cache_ops(c: &mut Criterion) {
         b.iter(|| {
             x = x.wrapping_add(0x9E3779B97F4A7C15);
             let blk = Block(x >> 40);
-            cache.demand_access(blk, 0);
+            cache.demand_access(blk);
             cache.fill(blk, false, 0)
         })
     });

@@ -22,13 +22,14 @@
 //!          and run_report.md next to the working directory)
 //!   bench  perf micro-suite: SNN presentation kernels (including the
 //!          SIMD-dispatched vs forced-scalar tier pair), encoding,
-//!          per-prefetcher per-access cost, one end-to-end report cell.
-//!          Writes BENCH_pr6.json (override with --bench-out). With
+//!          per-prefetcher per-access cost, the replay engine's
+//!          dispatched vs pinned-scalar pair, one end-to-end report cell.
+//!          Writes BENCH_pr7.json (override with --bench-out). With
 //!          --baseline <json> the run becomes a gate: exits nonzero when
 //!          any suite's median regressed more than --threshold percent
-//!          (default 40) versus the baseline document; snn.* suites are
-//!          skipped when the baseline was recorded on a different kernel
-//!          tier (the document's kernel_tier field).
+//!          (default 40) versus the baseline document; snn.* and sim.*
+//!          suites are skipped when the baseline was recorded on a
+//!          different kernel tier (the document's kernel_tier field).
 //! ```
 //!
 //! `--threads T` bounds the sweep engine's worker pool (default: available
@@ -65,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
     let mut baseline: Option<String> = None;
     let mut threshold = 40.0f64;
-    let mut bench_out = String::from("BENCH_pr6.json");
+    let mut bench_out = String::from("BENCH_pr7.json");
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -315,7 +316,7 @@ fn run_bench(args: &Args) -> ExitCode {
         println!("{}", bench::render_deltas(&cmp, args.threshold));
         if cmp.tier_mismatch {
             eprintln!(
-                "# bench: baseline tier {} != current tier {}; {} snn suite(s) not gated",
+                "# bench: baseline tier {} != current tier {}; {} tier-sensitive suite(s) (snn.*/sim.*) not gated",
                 cmp.baseline_tier.as_deref().unwrap_or("unknown"),
                 report.kernel_tier,
                 cmp.skipped.len()

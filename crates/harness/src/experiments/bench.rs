@@ -8,17 +8,19 @@
 //! per-access cost, the duty-cycled cached vs always-on steady-state
 //! pair, the flat-layout timed replay vs the retained reference engine
 //! (`sim.replay.{demand,prefetch,e2e}` plus `sim.replay.e2e.reference`),
-//! and one end-to-end report cell), then emits the results as
-//! `BENCH_pr6.json`: suite → median ns/op + throughput, the dispatched
-//! kernel tier, plus a telemetry snapshot of the end-to-end cell.
+//! the replay engine's dispatched vs forced-scalar tier pair
+//! (`sim.replay.e2e.simd` / `sim.replay.e2e.scalar`), and one end-to-end
+//! report cell), then emits the results as `BENCH_pr7.json`: suite →
+//! median ns/op + throughput, the dispatched kernel tier, plus a
+//! telemetry snapshot of the end-to-end cell.
 //!
 //! With `--baseline <json>` the run becomes a *gate*: each suite's median
 //! is compared against the checked-in baseline (`benches/baseline.json`)
 //! and the process exits nonzero when any suite regressed by more than the
 //! `--threshold` percentage. When the baseline records a different
 //! `kernel_tier` than the current run dispatches to (e.g. an AVX2-recorded
-//! baseline gated on a scalar-only host), the tier-sensitive `snn.*`
-//! suites are skipped rather than spuriously flagged — see
+//! baseline gated on a scalar-only host), the tier-sensitive `snn.*` and
+//! `sim.*` suites are skipped rather than spuriously flagged — see
 //! [`compare_to_baseline`]. CI's `perf-smoke` job runs exactly this (see
 //! `.github/workflows/ci.yml` and EXPERIMENTS.md § "Benchmark gate").
 //!
@@ -103,6 +105,11 @@ pub struct BenchReport {
     /// presentation (the PR-6 acceptance figure). Exactly 1.0-ish on
     /// hosts whose dispatched tier *is* scalar — check `kernel_tier`.
     pub snn_simd_speedup: f64,
+    /// Paired-median speedup of the dispatched replay engine over the
+    /// pinned-scalar tier on the end-to-end cell's trace and schedule (the
+    /// PR-7 acceptance figure). ~1.0 on scalar-dispatched hosts — check
+    /// `kernel_tier`.
+    pub sim_simd_speedup: f64,
     /// The kernel tier this run's SNN suites dispatched to (`"avx2"` or
     /// `"scalar"`), from `pathfinder_snn::active_tier`.
     pub kernel_tier: &'static str,
@@ -394,6 +401,36 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     suites.push(flat_e2e);
     suites.push(ref_e2e);
 
+    // The sim tier pair (PR 7): the same flat engine through the
+    // dispatched tier (AVX2 tag/victim/queue scans where detected) and
+    // pinned to the scalar fallback, on the same trace and schedule as the
+    // e2e pair above. The integer kernels are bit-identical across tiers
+    // (pinned by `sim/tests/engine_equivalence.rs` under
+    // `PATHFINDER_FORCE_SCALAR`), so the paired ratio isolates pure scan
+    // cost. ~1.0 on hosts whose dispatched tier is already scalar — the
+    // report's `kernel_tier` field says which case this was.
+    let (sim_simd_suite, sim_scalar_suite, sim_simd_speedup) = measure_ratio(
+        "sim.replay.e2e.simd",
+        "sim.replay.e2e.scalar",
+        15,
+        replay_trace.len() as u64,
+        || {
+            black_box(
+                Simulator::new(scenario.sim)
+                    .run(black_box(&replay_trace), black_box(&replay_schedule)),
+            );
+        },
+        || {
+            black_box(
+                Simulator::with_kernel_tier(scenario.sim, KernelTier::Scalar)
+                    .expect("scalar tier is supported everywhere")
+                    .run(black_box(&replay_trace), black_box(&replay_schedule)),
+            );
+        },
+    );
+    suites.push(sim_simd_suite);
+    suites.push(sim_scalar_suite);
+
     // --- End-to-end report cell (generate + replay + metrics), with the
     // --- telemetry the cell recorded attached to the document. -----------
     let e2e_trace = scenario.shared_trace(Workload::Sphinx);
@@ -432,6 +469,7 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         pathfinder_cached_speedup,
         sim_replay_speedup,
         snn_simd_speedup,
+        sim_simd_speedup,
         kernel_tier: pathfinder_snn::active_tier().name(),
         telemetry,
     }
@@ -466,7 +504,7 @@ fn steady_delta_trace(loads: usize) -> Trace {
 }
 
 impl BenchReport {
-    /// Renders the machine-readable JSON document (`BENCH_pr6.json`).
+    /// Renders the machine-readable JSON document (`BENCH_pr7.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\"schema\":");
@@ -505,6 +543,8 @@ impl BenchReport {
         json::write_f64(&mut out, self.sim_replay_speedup);
         out.push_str(",\"snn_present32_simd_vs_scalar_speedup\":");
         json::write_f64(&mut out, self.snn_simd_speedup);
+        out.push_str(",\"sim_replay_simd_vs_scalar_speedup\":");
+        json::write_f64(&mut out, self.sim_simd_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -541,6 +581,10 @@ impl BenchReport {
         out.push_str(&format!(
             "Kernel tier: {} — dispatched event kernel is {:.2}x the forced-scalar tier\n",
             self.kernel_tier, self.snn_simd_speedup
+        ));
+        out.push_str(&format!(
+            "Replay engine: dispatched scans are {:.2}x the pinned-scalar tier\n",
+            self.sim_simd_speedup
         ));
         out
     }
@@ -585,7 +629,7 @@ pub struct BaselineComparison {
     /// documents, which compare everything).
     pub baseline_tier: Option<String>,
     /// Whether the baseline's tier differs from the current run's — when
-    /// true, the tier-sensitive `snn.*` suites were skipped.
+    /// true, the tier-sensitive `snn.*` and `sim.*` suites were skipped.
     pub tier_mismatch: bool,
     /// Names of suites excluded from the gate by the tier mismatch.
     pub skipped: Vec<String>,
@@ -598,12 +642,15 @@ pub struct BaselineComparison {
 /// both runs measured).
 ///
 /// When the baseline records a `kernel_tier` different from the current
-/// run's, every `snn.*` suite is excluded from the gate and listed in
-/// [`BaselineComparison::skipped`] instead: an AVX2-recorded median is not
-/// a meaningful bound for a scalar-dispatched run (or vice versa), and
-/// flagging the tier difference as a "regression" would gate on hardware,
-/// not code. Baselines without the field (written before tiers existed)
-/// compare everything, preserving the old behaviour.
+/// run's, every `snn.*` and `sim.*` suite is excluded from the gate and
+/// listed in [`BaselineComparison::skipped`] instead: an AVX2-recorded
+/// median is not a meaningful bound for a scalar-dispatched run (or vice
+/// versa), and flagging the tier difference as a "regression" would gate
+/// on hardware, not code. (Since PR 7 the replay engine's tag, victim, and
+/// queue scans dispatch by tier too, so the whole `sim.*` family is as
+/// tier-sensitive as the SNN kernels.) Baselines without the field
+/// (written before tiers existed) compare everything, preserving the old
+/// behaviour.
 ///
 /// # Errors
 ///
@@ -629,7 +676,7 @@ pub fn compare_to_baseline(
     let mut deltas = Vec::new();
     let mut skipped = Vec::new();
     for s in &report.suites {
-        if tier_mismatch && s.name.starts_with("snn.") {
+        if tier_mismatch && (s.name.starts_with("snn.") || s.name.starts_with("sim.")) {
             skipped.push(s.name.to_string());
             continue;
         }
@@ -720,6 +767,8 @@ mod tests {
             "sim.replay.prefetch",
             "sim.replay.e2e",
             "sim.replay.e2e.reference",
+            "sim.replay.e2e.simd",
+            "sim.replay.e2e.scalar",
             "e2e.report_cell",
         ] {
             assert!(names.contains(&expected), "missing suite {expected}");
@@ -729,6 +778,7 @@ mod tests {
         assert!(rep.pathfinder_cached_speedup.is_finite() && rep.pathfinder_cached_speedup > 0.0);
         assert!(rep.sim_replay_speedup.is_finite() && rep.sim_replay_speedup > 0.0);
         assert!(rep.snn_simd_speedup.is_finite() && rep.snn_simd_speedup > 0.0);
+        assert!(rep.sim_simd_speedup.is_finite() && rep.sim_simd_speedup > 0.0);
         assert_eq!(rep.kernel_tier, pathfinder_snn::active_tier().name());
 
         let doc = json::parse(&rep.to_json()).expect("bench JSON parses");
@@ -760,6 +810,11 @@ mod tests {
         assert!(doc
             .get("derived")
             .and_then(|d| d.get("snn_present32_simd_vs_scalar_speedup"))
+            .and_then(json::Value::as_f64)
+            .is_some());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("sim_replay_simd_vs_scalar_speedup"))
             .and_then(json::Value::as_f64)
             .is_some());
 
@@ -807,11 +862,11 @@ mod tests {
     }
 
     #[test]
-    fn baseline_gate_skips_snn_suites_on_tier_mismatch() {
+    fn baseline_gate_skips_tier_sensitive_suites_on_tier_mismatch() {
         let rep = tiny_report();
         // Fabricate a baseline recorded on a different tier with absurdly
-        // fast SNN medians: without the tier skip every snn.* suite would
-        // be flagged, with it none are compared at all.
+        // fast tier-sensitive medians: without the tier skip every snn.*
+        // and sim.* suite would be flagged, with it none are compared.
         let mut other = rep.clone();
         other.kernel_tier = if rep.kernel_tier == "scalar" {
             "avx2"
@@ -819,7 +874,7 @@ mod tests {
             "scalar"
         };
         for s in &mut other.suites {
-            if s.name.starts_with("snn.") {
+            if s.name.starts_with("snn.") || s.name.starts_with("sim.") {
                 s.median_ns /= 1000.0;
             }
         }
@@ -827,15 +882,25 @@ mod tests {
         assert!(cmp.tier_mismatch);
         assert_eq!(cmp.baseline_tier.as_deref(), Some(other.kernel_tier));
         assert!(
-            !cmp.skipped.is_empty() && cmp.skipped.iter().all(|n| n.starts_with("snn.")),
-            "exactly the snn.* suites are skipped: {:?}",
+            !cmp.skipped.is_empty()
+                && cmp
+                    .skipped
+                    .iter()
+                    .all(|n| n.starts_with("snn.") || n.starts_with("sim.")),
+            "exactly the snn.* and sim.* suites are skipped: {:?}",
             cmp.skipped
         );
         assert!(
-            cmp.deltas
-                .iter()
-                .all(|d| !d.name.starts_with("snn.") && !d.regressed),
-            "non-snn suites still gate, and none regress against itself"
+            cmp.skipped.iter().any(|n| n.starts_with("snn."))
+                && cmp.skipped.iter().any(|n| n.starts_with("sim.")),
+            "both tier-sensitive families are excluded: {:?}",
+            cmp.skipped
+        );
+        assert!(
+            cmp.deltas.iter().all(|d| !d.name.starts_with("snn.")
+                && !d.name.starts_with("sim.")
+                && !d.regressed),
+            "tier-insensitive suites still gate, and none regress against itself"
         );
         let rendered = render_deltas(&cmp, 40.0);
         assert!(rendered.contains("skipped"), "note surfaces the skip");

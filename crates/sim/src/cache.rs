@@ -25,7 +25,18 @@
 //! [`crate::reference::ReferenceCache`] by `tests/cache_prop.rs`. Both
 //! buffers are allocated once at construction — no allocation ever happens
 //! during replay.
+//!
+//! Both hot scans — the tag lookup and the LRU victim min-scan — dispatch
+//! through [`pathfinder_accel`]'s [`KernelTier`], captured once at
+//! construction ([`Cache::with_tier`]): on AVX2 hosts a whole 4-lane
+//! `u64` vector of tags is compared per step (`_mm256_cmpeq_epi64` +
+//! movemask) and the victim scan is a lane-wise min reduction keeping the
+//! first minimum. The integer kernels are bit-identical to the scalar
+//! walks for every input (see the `pathfinder-accel` crate docs), so the
+//! reference-equivalence proptests pin both tiers with no tolerance
+//! machinery, and `PATHFINDER_FORCE_SCALAR` pins dispatch for CI.
 
+use pathfinder_accel::{self as accel, KernelTier};
 use pathfinder_telemetry as telemetry;
 
 use crate::addr::Block;
@@ -132,14 +143,17 @@ pub struct CacheStats {
 /// use pathfinder_sim::{Block, Cache, CacheConfig, LookupResult};
 ///
 /// let mut c = Cache::new(CacheConfig::new(16, 2, 1));
-/// assert_eq!(c.demand_access(Block(7), 0), LookupResult::Miss);
+/// assert_eq!(c.demand_access(Block(7)), LookupResult::Miss);
 /// c.fill(Block(7), false, 0);
-/// assert!(matches!(c.demand_access(Block(7), 1), LookupResult::Hit { .. }));
+/// assert!(matches!(c.demand_access(Block(7)), LookupResult::Hit { .. }));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     level: CacheLevel,
+    /// The kernel tier the tag and victim scans dispatch to, captured at
+    /// construction.
+    tier: KernelTier,
     /// Packed `(block << 1) | valid` words, set-major: line `w` of set `s`
     /// lives at `s * ways + w`. The only array the lookup scan touches.
     tags: Box<[u64]>,
@@ -180,19 +194,42 @@ impl Cache {
     /// Creates an empty cache that attributes `sim.<level>.{hits,misses}`
     /// telemetry to this level: [`Cache::demand_access`] tallies into the
     /// stats fields and [`Cache::flush_telemetry`] publishes the totals.
+    /// Scans dispatch to the process-wide [`accel::active_tier`].
     ///
     /// # Panics
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn labeled(config: CacheConfig, level: CacheLevel) -> Self {
+        Cache::with_tier(config, level, accel::active_tier())
+    }
+
+    /// Creates an empty cache with an explicit [`KernelTier`] for its tag
+    /// and victim scans. The tiers are bit-identical (see the
+    /// `pathfinder-accel` contract), so this exists for tier-pinning tests
+    /// and benchmarks — production code should call [`Cache::new`] or
+    /// [`Cache::labeled`], which capture the detected tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero, or if `tier` is not supported
+    /// on this host (`tier.supported()` is false) — running SIMD kernels
+    /// without their CPU feature would be undefined behaviour, so
+    /// construction refuses.
+    pub fn with_tier(config: CacheConfig, level: CacheLevel, tier: KernelTier) -> Self {
         assert!(
             config.sets > 0 && config.ways > 0,
             "cache must be non-empty"
+        );
+        assert!(
+            tier.supported(),
+            "kernel tier {:?} is not supported on this host",
+            tier
         );
         let lines = config.sets * config.ways;
         Cache {
             config,
             level,
+            tier,
             tags: vec![TAG_INVALID; lines].into_boxed_slice(),
             lru: vec![0; lines].into_boxed_slice(),
             fill_info: vec![0; lines].into_boxed_slice(),
@@ -237,22 +274,27 @@ impl Cache {
         self.set_index(block) * self.config.ways
     }
 
-    /// Scans the block's set; returns the line index on a match.
+    /// The kernel tier this cache's scans dispatch to.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Scans the block's set; returns the line index on a match. Valid tags
+    /// are packed odd and invalid lines hold the even `TAG_INVALID`, so the
+    /// packed needle can never alias an invalid line — one dense equality
+    /// scan covers both the tag match and the valid check.
     #[inline]
     fn find(&self, block: Block) -> Option<usize> {
         let base = self.set_base(block);
         let packed = pack_tag(block);
-        self.tags[base..base + self.config.ways]
-            .iter()
-            .position(|&t| t == packed)
+        accel::find_eq_u64(self.tier, &self.tags[base..base + self.config.ways], packed)
             .map(|w| base + w)
     }
 
     /// Performs a demand access. On a hit the line becomes MRU and loses its
     /// prefetch bit (counting a useful prefetch the first time).
-    pub fn demand_access(&mut self, block: Block, now: u64) -> LookupResult {
+    pub fn demand_access(&mut self, block: Block) -> LookupResult {
         self.tick += 1;
-        let _ = now;
         if let Some(idx) = self.find(block) {
             self.lru[idx] = self.tick;
             let info = self.fill_info[idx];
@@ -367,16 +409,10 @@ impl Cache {
         // Victim: first invalid line if any, else the LRU line. Invalid
         // lines hold stamp 0 and valid lines hold >= 1 (struct invariant),
         // so both cases are one dense min-scan of the stamp array — no tag
-        // reads, no branches on validity. The strict `<` keeps the first
-        // minimum, matching the reference cache's `min_by_key`.
-        let mut victim_way = 0;
-        let mut victim_key = u64::MAX;
-        for (way, &key) in self.lru[base..base + self.config.ways].iter().enumerate() {
-            if key < victim_key {
-                victim_key = key;
-                victim_way = way;
-            }
-        }
+        // reads, no branches on validity. `min_index_u64` keeps the *first*
+        // minimum on every tier, matching the reference cache's
+        // `min_by_key`.
+        let victim_way = accel::min_index_u64(self.tier, &self.lru[base..base + self.config.ways]);
         let victim = base + victim_way;
         let evicted = if self.tags[victim] != TAG_INVALID {
             if self.fill_info[victim] & 1 == 1 {
@@ -434,10 +470,10 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let mut c = tiny();
-        assert_eq!(c.demand_access(Block(4), 0), LookupResult::Miss);
+        assert_eq!(c.demand_access(Block(4)), LookupResult::Miss);
         c.fill(Block(4), false, 0);
         assert!(matches!(
-            c.demand_access(Block(4), 1),
+            c.demand_access(Block(4)),
             LookupResult::Hit {
                 first_demand_to_prefetch: false,
                 ..
@@ -454,7 +490,7 @@ mod tests {
         c.fill(Block(0), false, 0);
         c.fill(Block(2), false, 0);
         // Touch 0 so 2 becomes LRU.
-        c.demand_access(Block(0), 0);
+        c.demand_access(Block(0));
         let evicted = c.fill(Block(4), false, 0);
         assert_eq!(evicted, Some(Block(2)));
         assert!(c.probe(Block(0)));
@@ -467,7 +503,7 @@ mod tests {
         let mut c = tiny();
         c.fill(Block(6), true, 100);
         assert_eq!(c.stats().prefetch_fills, 1);
-        let r = c.demand_access(Block(6), 150);
+        let r = c.demand_access(Block(6));
         assert_eq!(
             r,
             LookupResult::Hit {
@@ -477,7 +513,7 @@ mod tests {
         );
         // Second touch is an ordinary hit.
         assert!(matches!(
-            c.demand_access(Block(6), 151),
+            c.demand_access(Block(6)),
             LookupResult::Hit {
                 first_demand_to_prefetch: false,
                 ..
@@ -514,7 +550,7 @@ mod tests {
         c.fill(Block(6), true, 1_000); // prefetch, data arrives at 1000
         c.fill(Block(6), false, 0); // demand fill supersedes it
         assert_eq!(
-            c.demand_access(Block(6), 500),
+            c.demand_access(Block(6)),
             LookupResult::Hit {
                 first_demand_to_prefetch: false,
                 fill_ready_cycle: 0
@@ -531,7 +567,7 @@ mod tests {
         c.fill(Block(0), false, 0); // demand line
         c.fill(Block(0), true, 1_000); // prefetch refill: no new data
         assert_eq!(
-            c.demand_access(Block(0), 500),
+            c.demand_access(Block(0)),
             LookupResult::Hit {
                 first_demand_to_prefetch: false,
                 fill_ready_cycle: 0
@@ -554,7 +590,7 @@ mod tests {
     fn reset_clears_everything() {
         let mut c = tiny();
         c.fill(Block(1), true, 0);
-        c.demand_access(Block(1), 0);
+        c.demand_access(Block(1));
         c.reset();
         assert_eq!(c.occupancy(), 0);
         assert_eq!(*c.stats(), CacheStats::default());
@@ -571,10 +607,7 @@ mod tests {
         for blk in [0u64, 2, 4, 0, 2] {
             a.fill(Block(blk), false, 0);
             b.fill(Block(blk), false, 0);
-            assert_eq!(
-                a.demand_access(Block(blk), 0),
-                b.demand_access(Block(blk), 0)
-            );
+            assert_eq!(a.demand_access(Block(blk)), b.demand_access(Block(blk)));
         }
         assert_eq!(a.stats(), b.stats());
     }
@@ -619,5 +652,30 @@ mod tests {
             let evicted = c.fill(Block(blk + 8 * 5), false, 0);
             assert_eq!(evicted, Some(Block(blk)));
         }
+    }
+
+    #[test]
+    fn scalar_and_active_tiers_replay_identically() {
+        // Scalar construction always succeeds, `new` captures the active
+        // tier, and a mixed fill/access/invalidate tape produces identical
+        // results and stats on both — the bit-identity contract.
+        let cfg = CacheConfig::new(4, 3, 1); // 3 ways: SIMD tail exercised
+        let mut simd = Cache::new(cfg);
+        let mut scalar = Cache::with_tier(cfg, CacheLevel::Unlabeled, KernelTier::Scalar);
+        assert_eq!(scalar.kernel_tier(), KernelTier::Scalar);
+        assert_eq!(simd.kernel_tier(), accel::active_tier());
+        for step in 0u64..200 {
+            let blk = Block((step * 7) % 23);
+            match step % 4 {
+                0 => assert_eq!(
+                    simd.fill(blk, step % 8 == 0, step),
+                    scalar.fill(blk, step % 8 == 0, step)
+                ),
+                1 | 2 => assert_eq!(simd.demand_access(blk), scalar.demand_access(blk)),
+                _ => assert_eq!(simd.invalidate(blk), scalar.invalidate(blk)),
+            }
+        }
+        assert_eq!(simd.stats(), scalar.stats());
+        assert_eq!(simd.occupancy(), scalar.occupancy());
     }
 }

@@ -55,6 +55,13 @@ pub struct DramConfig {
     pub write_queue_size: usize,
     /// DRAM row size in bytes (for open-row hit detection).
     pub row_bytes: u64,
+    /// Read-queue slots reserved for demand traffic: a prefetch is shed
+    /// when fewer than this many slots would remain free after it enqueues
+    /// (FR-FCFS controllers serve demands first and drop speculative reads
+    /// under load). Clamped to `read_queue_size - 1` at model construction
+    /// so an idle queue always accepts a prefetch — the previous hardwired
+    /// headroom of 4 shed *every* prefetch when `read_queue_size <= 4`.
+    pub prefetch_headroom: usize,
 }
 
 impl Default for DramConfig {
@@ -70,6 +77,7 @@ impl Default for DramConfig {
             read_queue_size: 64,
             write_queue_size: 64,
             row_bytes: 8192,
+            prefetch_headroom: 4,
         }
     }
 }
@@ -203,6 +211,9 @@ mod tests {
         assert_eq!(d.total_banks(), 64);
         assert_eq!(d.read_queue_size, 64);
         assert_eq!(d.write_queue_size, 64);
+        // Matches the headroom that was hardwired into the model before it
+        // became configurable, so default shedding behaviour is unchanged.
+        assert_eq!(d.prefetch_headroom, 4);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! read queue. The model answers a single question for the replay engine:
 //! *given a block request arriving at cycle `t`, when does its data return?*
 
+use pathfinder_accel::{self as accel, KernelTier};
 use pathfinder_telemetry as telemetry;
 
 use crate::addr::Block;
@@ -83,6 +84,11 @@ pub struct DramModel {
     row_shift: Option<u32>,
     /// Shift/mask equivalent of dividing by `total_banks`.
     bank_shift: Option<u32>,
+    /// [`DramConfig::prefetch_headroom`] clamped below the queue size at
+    /// construction, so an idle queue can always accept a prefetch.
+    prefetch_headroom: usize,
+    /// Kernel tier the queue-drain min scan dispatches to.
+    tier: KernelTier,
     bus_free_at: u64,
     stats: DramStats,
     /// Per-depth occupancy tally for the `sim.dram.queue_depth` histogram:
@@ -99,8 +105,24 @@ pub struct DramModel {
 }
 
 impl DramModel {
-    /// Creates an idle DRAM model.
+    /// Creates an idle DRAM model, with min scans on the process-wide
+    /// [`accel::active_tier`].
     pub fn new(config: DramConfig) -> Self {
+        DramModel::with_tier(config, accel::active_tier())
+    }
+
+    /// [`DramModel::new`] with an explicit [`KernelTier`] — for
+    /// tier-pinning tests and benchmarks; tiers are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is not supported on this host.
+    pub fn with_tier(config: DramConfig, tier: KernelTier) -> Self {
+        assert!(
+            tier.supported(),
+            "kernel tier {:?} is not supported on this host",
+            tier
+        );
         let banks = vec![
             Bank {
                 open_row: None,
@@ -126,6 +148,15 @@ impl DramModel {
             bank_shift: total_banks
                 .is_power_of_two()
                 .then(|| total_banks.trailing_zeros()),
+            // Clamp so `len + headroom >= queue_size` can never hold on an
+            // idle queue: demand reads keep priority, but a quiet memory
+            // system accepts prefetches at every queue size (the unclamped
+            // constant used to shed 100% of prefetches whenever
+            // `read_queue_size <= headroom`).
+            prefetch_headroom: config
+                .prefetch_headroom
+                .min(config.read_queue_size.saturating_sub(1)),
+            tier,
             bus_free_at: 0,
             stats: DramStats::default(),
             depth_counts: vec![0; config.read_queue_size + 1].into_boxed_slice(),
@@ -140,16 +171,11 @@ impl DramModel {
         if self.inflight_earliest > now {
             return;
         }
-        let mut min = u64::MAX;
-        self.inflight.retain(|&c| {
-            if c > now {
-                min = min.min(c);
-                true
-            } else {
-                false
-            }
-        });
-        self.inflight_earliest = min;
+        self.inflight.retain(|&c| c > now);
+        // Recompute the cached minimum over the survivors in one vector
+        // scan (u64 min is order-insensitive, so this is identical to
+        // folding inside the retain; `u64::MAX` when the queue emptied).
+        self.inflight_earliest = accel::min_u64(self.tier, &self.inflight);
     }
 
     /// Accumulated statistics.
@@ -198,7 +224,11 @@ impl DramModel {
     /// requests under load rather than letting them delay demands.
     pub fn service_prefetch(&mut self, block: Block, now: u64) -> Option<u64> {
         self.drain_inflight(now);
-        if self.inflight.len() + 4 >= self.config.read_queue_size {
+        // `prefetch_headroom` queue slots stay reserved for demand reads
+        // (clamped below the queue size at construction, so an idle queue
+        // always has room — `read_queue_size <= headroom` used to shed
+        // every prefetch unconditionally).
+        if self.inflight.len() + self.prefetch_headroom >= self.config.read_queue_size {
             self.stats.prefetches_dropped += 1;
             return None;
         }
@@ -362,6 +392,7 @@ mod tests {
             read_queue_size: 4,
             write_queue_size: 4,
             row_bytes: 256, // 4 blocks per row
+            prefetch_headroom: 4,
         }
     }
 
@@ -460,6 +491,92 @@ mod tests {
         // Global rows 0 and 3 share bank 0 (3 banks): conflict.
         let (o, _) = d.service_classified(Block(3 * 3), t);
         assert_eq!(o, RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn idle_queue_accepts_prefetches_at_every_queue_size() {
+        // Regression: the headroom used to be hardwired to 4, so
+        // `len + 4 >= read_queue_size` held even on an *empty* queue
+        // whenever `read_queue_size <= 4` — every prefetch was shed and
+        // small-queue sensitivity studies silently ran prefetch-less.
+        for qsize in 1..=4usize {
+            let cfg = DramConfig {
+                read_queue_size: qsize,
+                ..small_cfg()
+            };
+            let mut d = DramModel::new(cfg);
+            assert!(
+                d.service_prefetch(Block(0), 0).is_some(),
+                "idle queue of size {qsize} must accept a prefetch"
+            );
+            assert_eq!(d.stats().prefetches_dropped, 0, "queue size {qsize}");
+        }
+    }
+
+    #[test]
+    fn full_small_queue_still_sheds_prefetches() {
+        // The clamp keeps demand priority: with one slot and one in-flight
+        // demand, a prefetch is shed until the demand drains.
+        let cfg = DramConfig {
+            read_queue_size: 1,
+            ..small_cfg()
+        };
+        let mut d = DramModel::new(cfg);
+        let done = d.service(Block(0), 0);
+        assert!(d.service_prefetch(Block(64), 0).is_none());
+        assert_eq!(d.stats().prefetches_dropped, 1);
+        // Once the demand completes the queue is idle again.
+        assert!(d.service_prefetch(Block(1), done).is_some());
+    }
+
+    #[test]
+    fn oversized_headroom_is_clamped_below_queue_size() {
+        let cfg = DramConfig {
+            read_queue_size: 2,
+            prefetch_headroom: 10,
+            ..small_cfg()
+        };
+        let mut d = DramModel::new(cfg);
+        assert_eq!(d.prefetch_headroom, 1);
+        assert!(d.service_prefetch(Block(0), 0).is_some());
+    }
+
+    #[test]
+    fn default_headroom_reserves_demand_slots() {
+        // Default geometry behaviour is unchanged: a 64-slot queue sheds
+        // prefetches once 60 reads are in flight (4 slots reserved).
+        let mut d = DramModel::new(DramConfig::default());
+        for i in 0..60u64 {
+            d.service(Block(i), 0);
+        }
+        assert_eq!(d.inflight.len(), 60);
+        assert!(d.service_prefetch(Block(1_000_000), 0).is_none());
+        assert_eq!(d.stats().prefetches_dropped, 1);
+    }
+
+    #[test]
+    fn scalar_and_active_tiers_agree_on_queue_drain() {
+        let cfg = small_cfg();
+        let mut simd = DramModel::new(cfg);
+        let mut scalar = DramModel::with_tier(cfg, KernelTier::Scalar);
+        let mut x = 7u64;
+        for i in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let now = i / 3;
+            if x.is_multiple_of(4) {
+                assert_eq!(
+                    simd.service_prefetch(Block(x >> 40), now),
+                    scalar.service_prefetch(Block(x >> 40), now)
+                );
+            } else {
+                assert_eq!(
+                    simd.service_classified(Block(x >> 40), now),
+                    scalar.service_classified(Block(x >> 40), now)
+                );
+            }
+            assert_eq!(simd.inflight_earliest, scalar.inflight_earliest);
+        }
+        assert_eq!(simd.stats(), scalar.stats());
     }
 
     #[test]

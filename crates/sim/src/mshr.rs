@@ -17,6 +17,17 @@
 //! per-access [`MshrTracker::drain_completed`] call is a single compare
 //! when nothing has completed yet — the common case, and the one the
 //! heap's `peek` also served in O(1).
+//!
+//! The min scans dispatch through [`pathfinder_accel`]'s [`KernelTier`]
+//! (captured at construction, see [`MshrTracker::with_tier`]):
+//! [`MshrTracker::pop_earliest`] is a single two-smallest pass — the
+//! runner-up *is* the post-removal minimum, since the second smallest
+//! value counting duplicates equals the min of the remainder after one
+//! first-minimum `swap_remove` — where it previously re-scanned the slots
+//! after removal. `u64` min is order-insensitive, so every tier is
+//! bit-identical and the BinaryHeap-semantics tape below pins them all.
+
+use pathfinder_accel::{self as accel, KernelTier};
 
 /// Completion cycles of outstanding demand misses, bounded by the MSHR
 /// count supplied at construction.
@@ -42,19 +53,38 @@ pub struct MshrTracker {
     /// Smallest live completion cycle (`u64::MAX` when empty), maintained
     /// so threshold drains can early-exit without scanning.
     earliest: u64,
+    /// Kernel tier the min scans dispatch to, captured at construction.
+    tier: KernelTier,
 }
 
 impl MshrTracker {
-    /// Creates an empty tracker for `mshrs` outstanding misses.
+    /// Creates an empty tracker for `mshrs` outstanding misses, with min
+    /// scans on the process-wide [`accel::active_tier`].
     ///
     /// A zero MSHR count still reserves one slot: the engine's stall logic
     /// ("pop the earliest completion when at capacity, then insert") keeps
     /// at most one entry live in that configuration.
     pub fn new(mshrs: usize) -> Self {
+        MshrTracker::with_tier(mshrs, accel::active_tier())
+    }
+
+    /// [`MshrTracker::new`] with an explicit [`KernelTier`] — for
+    /// tier-pinning tests and benchmarks; tiers are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is not supported on this host.
+    pub fn with_tier(mshrs: usize, tier: KernelTier) -> Self {
+        assert!(
+            tier.supported(),
+            "kernel tier {:?} is not supported on this host",
+            tier
+        );
         MshrTracker {
             slots: vec![0; mshrs.max(1)].into_boxed_slice(),
             len: 0,
             earliest: u64::MAX,
+            tier,
         }
     }
 
@@ -84,39 +114,37 @@ impl MshrTracker {
             return;
         }
         let mut i = 0;
-        let mut min = u64::MAX;
         while i < self.len {
             if self.slots[i] <= now {
                 self.len -= 1;
                 self.slots[i] = self.slots[self.len];
             } else {
-                min = min.min(self.slots[i]);
                 i += 1;
             }
         }
-        self.earliest = min;
+        // Recompute the cached minimum over the compacted survivors in one
+        // vector scan (u64 min is order-insensitive, so this is identical
+        // to folding during compaction; `u64::MAX` when all completed).
+        self.earliest = accel::min_u64(self.tier, &self.slots[..self.len]);
     }
 
     /// Removes and returns the earliest completion, if any.
+    ///
+    /// A single two-smallest scan: the removed entry is the first minimum
+    /// and the runner-up becomes the new cached `earliest` — exactly the
+    /// min of the remaining entries, because the second smallest value
+    /// *counting duplicates* is unaffected by removing one copy of the
+    /// minimum. (Previously this re-scanned the slots after the
+    /// `swap_remove`.)
     #[inline]
     pub fn pop_earliest(&mut self) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
-        let mut min_idx = 0;
-        for i in 1..self.len {
-            if self.slots[i] < self.slots[min_idx] {
-                min_idx = i;
-            }
-        }
-        let done = self.slots[min_idx];
+        let (min_idx, done, runner_up) = accel::min2_index_u64(self.tier, &self.slots[..self.len]);
         self.len -= 1;
         self.slots[min_idx] = self.slots[self.len];
-        let mut min = u64::MAX;
-        for i in 0..self.len {
-            min = min.min(self.slots[i]);
-        }
-        self.earliest = min;
+        self.earliest = runner_up;
         Some(done)
     }
 
@@ -216,6 +244,37 @@ mod tests {
                 }
             }
             assert_eq!(tracker.len(), heap.len(), "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_active_tiers_agree_on_a_random_tape() {
+        let mut simd = MshrTracker::new(32);
+        let mut scalar = MshrTracker::with_tier(32, KernelTier::Scalar);
+        assert_eq!(scalar.slots.len(), simd.slots.len());
+        let mut x = 0xD1B54A32D192ED03u64;
+        for _ in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match x % 3 {
+                0 => {
+                    if simd.len() < simd.capacity() {
+                        // Narrow range to force duplicate minima.
+                        let v = (x >> 32) % 17;
+                        simd.push(v);
+                        scalar.push(v);
+                    }
+                }
+                1 => assert_eq!(simd.pop_earliest(), scalar.pop_earliest()),
+                _ => {
+                    let now = (x >> 34) % 17;
+                    simd.drain_completed(now);
+                    scalar.drain_completed(now);
+                }
+            }
+            assert_eq!(simd.len(), scalar.len());
+            assert_eq!(simd.earliest, scalar.earliest);
         }
     }
 

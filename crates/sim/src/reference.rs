@@ -109,11 +109,10 @@ impl ReferenceCache {
     }
 
     /// Performs a demand access (pre-rewrite line scan).
-    pub fn demand_access(&mut self, block: Block, now: u64) -> LookupResult {
+    pub fn demand_access(&mut self, block: Block) -> LookupResult {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_index(block);
-        let _ = now;
         for line in &mut self.sets[set] {
             if line.valid && line.block == block {
                 line.lru = tick;
@@ -398,13 +397,13 @@ impl ReferenceSimulator {
             self.report.loads += 1;
         }
 
-        if let LookupResult::Hit { .. } = self.l1d.demand_access(block, issue) {
+        if let LookupResult::Hit { .. } = self.l1d.demand_access(block) {
             if measuring {
                 self.report.l1d_hits += 1;
             }
             return self.config.l1_hit_latency();
         }
-        if let LookupResult::Hit { .. } = self.l2.demand_access(block, issue) {
+        if let LookupResult::Hit { .. } = self.l2.demand_access(block) {
             if measuring {
                 self.report.l2_hits += 1;
             }
@@ -415,7 +414,7 @@ impl ReferenceSimulator {
         if measuring {
             self.report.llc_load_accesses += 1;
         }
-        match self.llc.demand_access(block, issue) {
+        match self.llc.demand_access(block) {
             LookupResult::Hit {
                 first_demand_to_prefetch,
                 fill_ready_cycle,
@@ -502,10 +501,10 @@ mod tests {
     #[test]
     fn reference_cache_basics() {
         let mut c = ReferenceCache::new(CacheConfig::new(2, 2, 1));
-        assert_eq!(c.demand_access(Block(4), 0), LookupResult::Miss);
+        assert_eq!(c.demand_access(Block(4)), LookupResult::Miss);
         c.fill(Block(4), false, 0);
         assert!(matches!(
-            c.demand_access(Block(4), 1),
+            c.demand_access(Block(4)),
             LookupResult::Hit { .. }
         ));
         assert!(c.probe(Block(4)));

@@ -41,8 +41,8 @@ fn assert_equivalent(config: CacheConfig, ops: &[Op]) -> Result<(), String> {
     for (step, op) in ops.iter().enumerate() {
         match *op {
             Op::Demand(b) => {
-                let a = flat.demand_access(Block(b), step as u64);
-                let r = reference.demand_access(Block(b), step as u64);
+                let a = flat.demand_access(Block(b));
+                let r = reference.demand_access(Block(b));
                 prop_assert_eq!(a, r, "demand_access({}) diverged at step {}", b, step);
             }
             Op::FillDemand(b, cycle) => {
@@ -130,6 +130,23 @@ proptest! {
         // sets=1 is simultaneously the smallest pow2 AND the modulo path's
         // everything-collides worst case.
         let config = CacheConfig::new(1, ways, 1);
+        let ops = decode(&raw_ops);
+        assert_equivalent(config, &ops)?;
+    }
+
+    /// Non-power-of-two way counts around the SIMD lane width: the tag and
+    /// victim scans run 4 `u64` lanes per vector step, so ways like 5 and
+    /// 13 leave scalar tails and ways below 4 never enter the vector body.
+    /// Every geometry must still match the reference exactly — including
+    /// first-minimum victim choice inside the tail.
+    #[test]
+    fn simd_tail_way_counts_match_reference(
+        ways_pick in 0usize..6,
+        raw_ops in prop::collection::vec((0u64..8, 0u64..96, 0u64..10_000), 1..300),
+    ) {
+        // 3: all-tail; 4/8: exact lane multiples; 5/12/13: vector + tail.
+        let ways = [3usize, 4, 5, 8, 12, 13][ways_pick];
+        let config = CacheConfig::new(4, ways, 1);
         let ops = decode(&raw_ops);
         assert_equivalent(config, &ops)?;
     }

@@ -33,124 +33,16 @@
 //! runners. The variable is read once per process (the tier is cached in a
 //! `OnceLock`); changing it at runtime has no effect on networks already
 //! constructed or on later [`active_tier`] calls.
+//!
+//! ## Shared dispatch machinery
+//!
+//! The capability probe, tier enum, and override parsing started life in
+//! this module (PR 6) and now live in the workspace-shared
+//! [`pathfinder_accel`] crate, where the `sim` crate's integer replay
+//! kernels dispatch through the same types; this module re-exports them
+//! unchanged and keeps only the SNN-specific f32 kernels.
 
-use std::sync::OnceLock;
-
-/// The CPU features (and process-level overrides) relevant to kernel
-/// dispatch, probed once via [`CpuCapabilities::detect`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CpuCapabilities {
-    /// Host supports AVX2 (256-bit f32/i32 lanes), per
-    /// `is_x86_feature_detected!("avx2")`. Always `false` off x86-64.
-    pub avx2: bool,
-    /// The `PATHFINDER_FORCE_SCALAR` environment override is active, which
-    /// pins dispatch to [`KernelTier::Scalar`] regardless of `avx2`.
-    pub force_scalar: bool,
-}
-
-impl CpuCapabilities {
-    /// Probes the host CPU and the process environment.
-    pub fn detect() -> Self {
-        CpuCapabilities {
-            avx2: avx2_available(),
-            force_scalar: force_scalar_from(
-                std::env::var("PATHFINDER_FORCE_SCALAR").ok().as_deref(),
-            ),
-        }
-    }
-
-    /// The kernel tier this capability set dispatches to: the widest
-    /// supported SIMD tier, unless `force_scalar` pins it to
-    /// [`KernelTier::Scalar`].
-    pub fn tier(self) -> KernelTier {
-        if self.force_scalar {
-            return KernelTier::Scalar;
-        }
-        #[cfg(target_arch = "x86_64")]
-        if self.avx2 {
-            return KernelTier::Avx2;
-        }
-        KernelTier::Scalar
-    }
-}
-
-/// Whether the host CPU supports AVX2 (always `false` off x86-64).
-fn avx2_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        is_x86_feature_detected!("avx2")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
-
-/// Parses the `PATHFINDER_FORCE_SCALAR` value: unset, empty, `0`, and
-/// `false` (any case) leave dispatch alone; anything else forces scalar.
-fn force_scalar_from(value: Option<&str>) -> bool {
-    match value {
-        None => false,
-        Some(v) => {
-            let v = v.trim();
-            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
-        }
-    }
-}
-
-/// Which kernel implementation a network dispatches its hot loops to.
-///
-/// A tier is selected once per network at construction (from
-/// [`active_tier`] by default, or explicitly via
-/// `DiehlCookNetwork::with_kernel_tier` /
-/// [`crate::LifLayer::with_tier`]) and used for every presentation that
-/// network runs. Tiers are *behaviourally identical* — see the
-/// bit-identity contract in the [module docs](self).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelTier {
-    /// Portable scalar loops; always available, and the semantic baseline
-    /// the SIMD tiers are pinned against.
-    Scalar,
-    /// AVX2 kernels: 8-wide f32 lanes for membrane/drive/weight arithmetic
-    /// and 8-wide i32 lanes for the refractory masks. Only constructible
-    /// on hosts where `is_x86_feature_detected!("avx2")` holds (checked
-    /// constructors refuse it elsewhere).
-    #[cfg(target_arch = "x86_64")]
-    Avx2,
-}
-
-impl KernelTier {
-    /// Stable lowercase name for reports and bench documents
-    /// (`"scalar"` / `"avx2"`).
-    pub fn name(self) -> &'static str {
-        match self {
-            KernelTier::Scalar => "scalar",
-            #[cfg(target_arch = "x86_64")]
-            KernelTier::Avx2 => "avx2",
-        }
-    }
-
-    /// Whether the host CPU can execute this tier. [`KernelTier::Scalar`]
-    /// is always supported; SIMD tiers require their feature probe to
-    /// pass. Constructors that accept an explicit tier call this and
-    /// reject unsupported requests, which keeps "a tier value exists" from
-    /// ever implying "its instructions are safe to run here".
-    pub fn supported(self) -> bool {
-        match self {
-            KernelTier::Scalar => true,
-            #[cfg(target_arch = "x86_64")]
-            KernelTier::Avx2 => is_x86_feature_detected!("avx2"),
-        }
-    }
-}
-
-/// The process-wide dispatch decision: [`CpuCapabilities::detect`]
-/// evaluated once and cached. `DiehlCookNetwork::new` and
-/// [`crate::LifLayer::new`] capture this value at construction.
-pub fn active_tier() -> KernelTier {
-    static TIER: OnceLock<KernelTier> = OnceLock::new();
-    *TIER.get_or_init(|| CpuCapabilities::detect().tier())
-}
+pub use pathfinder_accel::{active_tier, CpuCapabilities, KernelTier};
 
 /// Parameters of one LIF integration tick, hoisted out of
 /// [`lif_step`]'s lane loop.
@@ -593,50 +485,9 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    #[test]
-    fn force_scalar_parsing() {
-        assert!(!force_scalar_from(None));
-        assert!(!force_scalar_from(Some("")));
-        assert!(!force_scalar_from(Some("0")));
-        assert!(!force_scalar_from(Some("false")));
-        assert!(!force_scalar_from(Some("FALSE")));
-        assert!(!force_scalar_from(Some("  ")));
-        assert!(force_scalar_from(Some("1")));
-        assert!(force_scalar_from(Some("true")));
-        assert!(force_scalar_from(Some("yes")));
-    }
-
-    #[test]
-    fn forced_scalar_overrides_simd() {
-        let caps = CpuCapabilities {
-            avx2: true,
-            force_scalar: true,
-        };
-        assert_eq!(caps.tier(), KernelTier::Scalar);
-        let caps = CpuCapabilities {
-            avx2: false,
-            force_scalar: false,
-        };
-        assert_eq!(caps.tier(), KernelTier::Scalar);
-    }
-
-    #[test]
-    fn scalar_tier_is_always_supported() {
-        assert!(KernelTier::Scalar.supported());
-        assert_eq!(KernelTier::Scalar.name(), "scalar");
-        // The active tier is by construction executable on this host.
-        assert!(active_tier().supported());
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[test]
-    fn avx2_tier_matches_detection() {
-        assert_eq!(
-            KernelTier::Avx2.supported(),
-            is_x86_feature_detected!("avx2")
-        );
-        assert_eq!(KernelTier::Avx2.name(), "avx2");
-    }
+    // (The dispatch-machinery tests — override parsing, forced-scalar
+    // precedence, tier support — moved to `pathfinder-accel` with the
+    // machinery itself; what stays here pins the f32 kernels.)
 
     /// Runs `f` once per tier and asserts the mutated buffer is bitwise
     /// identical. On hosts without AVX2 this degenerates to scalar-vs-

@@ -5,6 +5,7 @@
 //! directories — and downstream users who want the whole system — need a
 //! single dependency.
 //!
+//! * [`accel`] — shared SIMD capability probe / kernel-tier dispatch
 //! * [`sim`] — trace-driven memory-hierarchy simulator (ChampSim substitute)
 //! * [`traces`] — synthetic Table 5 workload generators
 //! * [`snn`] — LIF/STDP spiking-network engine
@@ -27,6 +28,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub use pathfinder_accel as accel;
 pub use pathfinder_core as core;
 pub use pathfinder_harness as harness;
 pub use pathfinder_hw as hw;

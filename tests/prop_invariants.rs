@@ -36,7 +36,7 @@ proptest! {
     fn cache_occupancy_bounded(blocks in prop::collection::vec(0u64..4096, 1..300)) {
         let mut cache = Cache::new(CacheConfig::new(16, 4, 1));
         for &b in &blocks {
-            cache.demand_access(Block(b), 0);
+            cache.demand_access(Block(b));
             cache.fill(Block(b), false, 0);
             prop_assert!(cache.probe(Block(b)), "freshly filled block present");
             prop_assert!(cache.occupancy() <= 16 * 4);

@@ -23,13 +23,24 @@
 //!   bench  perf micro-suite: SNN presentation kernels (including the
 //!          SIMD-dispatched vs forced-scalar tier pair), encoding,
 //!          per-prefetcher per-access cost, the replay engine's
-//!          dispatched vs pinned-scalar pair, one end-to-end report cell.
-//!          Writes BENCH_pr7.json (override with --bench-out). With
+//!          dispatched vs pinned-scalar pair, the serve daemon's
+//!          sharded stream throughput, one end-to-end report cell.
+//!          Writes BENCH_pr8.json (override with --bench-out). With
 //!          --baseline <json> the run becomes a gate: exits nonzero when
 //!          any suite's median regressed more than --threshold percent
-//!          (default 40) versus the baseline document; snn.* and sim.*
-//!          suites are skipped when the baseline was recorded on a
-//!          different kernel tier (the document's kernel_tier field).
+//!          (default 40) versus the baseline document; snn.*, sim.*, and
+//!          serve.* suites are skipped when the baseline was recorded on
+//!          a different kernel tier (the document's kernel_tier field).
+//!   serve  prefetch-as-a-service daemon: listens on --socket (default
+//!          /tmp/pathfinder-serve.sock) with --shards workers, serving
+//!          access/predict/train/status/configure/drain verbs until a
+//!          full drain shuts it down.
+//!   serve-smoke
+//!          drives --clients concurrent streams of Table-5 trace
+//!          prefixes (--loads each) through a running daemon and fails
+//!          unless every stream's drained schedule/report/stats are
+//!          bit-identical to a batch run; --no-shutdown leaves the
+//!          daemon running afterwards.
 //! ```
 //!
 //! `--threads T` bounds the sweep engine's worker pool (default: available
@@ -40,7 +51,7 @@
 use std::process::ExitCode;
 
 use crate::experiments::{
-    bench, extensions, fig4, hardware, report, snn_analysis, sweeps, trace_stats,
+    bench, extensions, fig4, hardware, report, service, snn_analysis, sweeps, trace_stats,
 };
 use crate::runner::Scenario;
 use pathfinder_traces::Workload;
@@ -55,6 +66,10 @@ struct Args {
     baseline: Option<String>,
     threshold: f64,
     bench_out: String,
+    socket: String,
+    shards: usize,
+    clients: usize,
+    shutdown: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,7 +81,11 @@ fn parse_args() -> Result<Args, String> {
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
     let mut baseline: Option<String> = None;
     let mut threshold = 40.0f64;
-    let mut bench_out = String::from("BENCH_pr7.json");
+    let mut bench_out = String::from("BENCH_pr8.json");
+    let mut socket = String::from("/tmp/pathfinder-serve.sock");
+    let mut shards = 4usize;
+    let mut clients = 8usize;
+    let mut shutdown = true;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -138,6 +157,35 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 bench_out = argv.get(i).ok_or("--bench-out needs a path")?.clone();
             }
+            "--socket" => {
+                i += 1;
+                socket = argv.get(i).ok_or("--socket needs a path")?.clone();
+            }
+            "--shards" => {
+                i += 1;
+                shards = argv
+                    .get(i)
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--clients" => {
+                i += 1;
+                clients = argv
+                    .get(i)
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+                if clients == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+            }
+            "--no-shutdown" => {
+                shutdown = false;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -164,6 +212,10 @@ fn parse_args() -> Result<Args, String> {
         baseline,
         threshold,
         bench_out,
+        socket,
+        shards,
+        clients,
+        shutdown,
     })
 }
 
@@ -176,9 +228,10 @@ pub fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report|bench] \
+                "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report|bench|serve|serve-smoke] \
                  [--loads N] [--sweep-loads N] [--seed S] [--threads T] [--workload NAME]... \
-                 [--baseline JSON] [--threshold PCT] [--bench-out PATH]"
+                 [--baseline JSON] [--threshold PCT] [--bench-out PATH] \
+                 [--socket PATH] [--shards N] [--clients N] [--no-shutdown]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -196,6 +249,44 @@ pub fn main() -> ExitCode {
     // `all`, and interprets --loads as the per-access/e2e trace scale.
     if args.experiment == "bench" {
         return run_bench(&args);
+    }
+
+    // Service mode: long-running daemon / its CI smoke driver. Neither is
+    // part of `all` (they don't regenerate a paper artifact).
+    if args.experiment == "serve" {
+        return match service::serve(&service::ServeOpts {
+            socket: args.socket.clone(),
+            shards: args.shards,
+        }) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.experiment == "serve-smoke" {
+        let t0 = std::time::Instant::now();
+        return match service::smoke(&service::SmokeOpts {
+            socket: args.socket.clone(),
+            clients: args.clients,
+            loads: args.loads,
+            seed: args.seed,
+            shutdown: args.shutdown,
+        }) {
+            Ok(text) => {
+                println!("{text}");
+                eprintln!(
+                    "# serve-smoke finished in {:.1}s",
+                    t0.elapsed().as_secs_f64()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: serve-smoke: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let scenario = Scenario {
@@ -316,7 +407,7 @@ fn run_bench(args: &Args) -> ExitCode {
         println!("{}", bench::render_deltas(&cmp, args.threshold));
         if cmp.tier_mismatch {
             eprintln!(
-                "# bench: baseline tier {} != current tier {}; {} tier-sensitive suite(s) (snn.*/sim.*) not gated",
+                "# bench: baseline tier {} != current tier {}; {} tier-sensitive suite(s) (snn.*/sim.*/serve.*) not gated",
                 cmp.baseline_tier.as_deref().unwrap_or("unknown"),
                 report.kernel_tier,
                 cmp.skipped.len()

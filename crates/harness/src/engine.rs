@@ -21,7 +21,7 @@
 //! configurable with `repro --threads N` (see [`set_threads`]).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use pathfinder_sim::{Simulator, Trace};
@@ -125,6 +125,19 @@ type TraceKey = (Workload, usize, u64);
 /// computation without serializing unrelated keys.
 type MemoMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
 
+/// One memoized trace plus the recency bookkeeping the LRU bound needs.
+#[derive(Debug, Default)]
+struct TraceSlot {
+    slot: Arc<OnceLock<Arc<Trace>>>,
+    last_used: u64,
+}
+
+/// Default bound on distinct memoized traces. Batch experiments touch at
+/// most |Table 5| × a few `(loads, seed)` scales and never approach it; the
+/// bound exists for long-running serves, where an unbounded memo over
+/// client-chosen derivations is a slow leak.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
 /// Process-wide memoization of generated traces and their no-prefetch
 /// baselines.
 ///
@@ -133,16 +146,50 @@ type MemoMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
 /// and experiment in the process. Baselines carry an additional simulator
 /// configuration fingerprint in their key because the same trace replays to
 /// different miss counts under different cache hierarchies.
-#[derive(Debug, Default)]
+///
+/// The trace map is **bounded**: beyond [`DEFAULT_TRACE_CAPACITY`] (or the
+/// [`TraceStore::with_capacity`] override), the least-recently-used
+/// *initialized* entries are dropped — in-flight generations are never
+/// evicted out from under their waiters, and outstanding `Arc<Trace>`
+/// references keep evicted traces alive until their holders finish. A
+/// re-request of an evicted key regenerates deterministically, so eviction
+/// affects memory and time, never results. Lookups and evictions feed the
+/// `harness.trace_store.{hits,evictions}` telemetry counters. Baseline
+/// entries are bare `u64`s and stay unbounded.
+#[derive(Debug)]
 pub struct TraceStore {
-    traces: MemoMap<TraceKey, Arc<Trace>>,
+    traces: Mutex<HashMap<TraceKey, TraceSlot>>,
     baselines: MemoMap<(TraceKey, String), u64>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
 }
 
 impl TraceStore {
-    /// Creates an empty store (tests; production code shares [`TraceStore::global`]).
+    /// Creates an empty store with the default trace capacity (tests;
+    /// production code shares [`TraceStore::global`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an empty store bounded to `capacity` memoized traces
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceStore {
+            traces: Mutex::new(HashMap::new()),
+            baselines: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The process-wide store every experiment shares.
@@ -152,16 +199,49 @@ impl TraceStore {
     }
 
     /// The workload's trace at the scenario's `(loads, seed)` scale,
-    /// generated on first request and shared afterwards.
+    /// generated on first request and shared afterwards (until evicted by
+    /// the LRU bound).
     pub fn trace(&self, scenario: &Scenario, workload: Workload) -> Arc<Trace> {
         let key = (workload, scenario.loads, scenario.seed);
-        let slot = self
-            .traces
-            .lock()
-            .expect("trace map lock")
-            .entry(key)
-            .or_default()
-            .clone();
+        let slot = {
+            let mut map = self.traces.lock().expect("trace map lock");
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let slot = match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter!("harness.trace_store.hits", 1);
+                    e.get().slot.clone()
+                }
+                std::collections::hash_map::Entry::Vacant(e) => e
+                    .insert(TraceSlot {
+                        slot: Arc::default(),
+                        last_used: tick,
+                    })
+                    .slot
+                    .clone(),
+            };
+            if map.len() > self.capacity {
+                // Oldest initialized entries first; uninitialized slots are
+                // in-flight generations with waiters and must stay. (The
+                // just-inserted slot is uninitialized, so it survives too.)
+                let mut victims: Vec<(u64, TraceKey)> = map
+                    .iter()
+                    .filter(|(_, v)| v.slot.get().is_some())
+                    .map(|(k, v)| (v.last_used, *k))
+                    .collect();
+                victims.sort_unstable_by_key(|&(t, _)| t);
+                for (_, victim) in victims {
+                    if map.len() <= self.capacity {
+                        break;
+                    }
+                    map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter!("harness.trace_store.evictions", 1);
+                }
+            }
+            slot
+        };
         slot.get_or_init(|| {
             let _span = telemetry::timer!("harness.trace_gen");
             Arc::new(workload.generate(scenario.loads, scenario.seed))
@@ -193,6 +273,16 @@ impl TraceStore {
     /// Number of distinct traces currently memoized (test observability).
     pub fn traces_cached(&self) -> usize {
         self.traces.lock().expect("trace map lock").len()
+    }
+
+    /// Lifetime count of trace lookups that found an existing entry.
+    pub fn trace_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of traces dropped by the LRU bound.
+    pub fn trace_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -292,6 +382,36 @@ mod tests {
             assert!(Arc::ptr_eq(&traces[0], t));
         }
         assert_eq!(store.traces_cached(), 1);
+    }
+
+    #[test]
+    fn trace_store_evicts_least_recently_used_beyond_capacity() {
+        let store = TraceStore::with_capacity(2);
+        let sc = Scenario::with_loads(1000);
+        let a = store.trace(&sc, Workload::Cc5);
+        let _b = store.trace(&sc, Workload::Bfs10);
+        assert_eq!(store.trace_hits(), 0);
+        assert_eq!(store.trace_evictions(), 0);
+
+        // Touch Cc5 so Bfs10 becomes the LRU victim when Sphinx arrives.
+        let a2 = store.trace(&sc, Workload::Cc5);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(store.trace_hits(), 1);
+        let _c = store.trace(&sc, Workload::Sphinx);
+        assert_eq!(store.trace_evictions(), 1);
+        assert_eq!(store.traces_cached(), 2);
+
+        // Cc5 survived (hit); the evicted Bfs10 regenerates on re-request
+        // as a fresh allocation with identical contents.
+        let a3 = store.trace(&sc, Workload::Cc5);
+        assert!(Arc::ptr_eq(&a, &a3));
+        let before = store.trace_evictions();
+        let b2 = store.trace(&sc, Workload::Bfs10);
+        assert_eq!(*b2, Workload::Bfs10.generate(sc.loads, sc.seed));
+        assert!(
+            store.trace_evictions() > before,
+            "refill evicts again at capacity"
+        );
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! pair, the flat-layout timed replay vs the retained reference engine
 //! (`sim.replay.{demand,prefetch,e2e}` plus `sim.replay.e2e.reference`),
 //! the replay engine's dispatched vs forced-scalar tier pair
-//! (`sim.replay.e2e.simd` / `sim.replay.e2e.scalar`), and one end-to-end
-//! report cell), then emits the results as `BENCH_pr7.json`: suite →
+//! (`sim.replay.e2e.simd` / `sim.replay.e2e.scalar`), the serve daemon's
+//! sharded stream-serving throughput at widening concurrency
+//! (`serve.throughput.{1,64,1024}streams`, sustained aggregate
+//! accesses/sec through the in-process engine), and one end-to-end
+//! report cell), then emits the results as `BENCH_pr8.json`: suite →
 //! median ns/op + throughput, the dispatched kernel tier, plus a
 //! telemetry snapshot of the end-to-end cell.
 //!
@@ -19,8 +22,8 @@
 //! and the process exits nonzero when any suite regressed by more than the
 //! `--threshold` percentage. When the baseline records a different
 //! `kernel_tier` than the current run dispatches to (e.g. an AVX2-recorded
-//! baseline gated on a scalar-only host), the tier-sensitive `snn.*` and
-//! `sim.*` suites are skipped rather than spuriously flagged — see
+//! baseline gated on a scalar-only host), the tier-sensitive `snn.*`,
+//! `sim.*`, and `serve.*` suites are skipped rather than spuriously flagged — see
 //! [`compare_to_baseline`]. CI's `perf-smoke` job runs exactly this (see
 //! `.github/workflows/ci.yml` and EXPERIMENTS.md § "Benchmark gate").
 //!
@@ -34,6 +37,7 @@ use std::time::Instant;
 
 use pathfinder_core::{PathfinderConfig, PixelMatrixEncoder, StdpDutyCycle};
 use pathfinder_prefetch::generate_prefetches;
+use pathfinder_serve::{AccessRecord, Request, ServeEngine, StreamTemplate};
 use pathfinder_sim::{MemoryAccess, ReferenceSimulator, Simulator, Trace};
 use pathfinder_snn::{DiehlCookNetwork, KernelTier};
 use pathfinder_telemetry::{json, Snapshot};
@@ -431,6 +435,54 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     suites.push(sim_simd_suite);
     suites.push(sim_scalar_suite);
 
+    // --- Serve daemon throughput: sharded serving of concurrent streams. --
+    // The same trace is partitioned round-robin over N live streams and
+    // pushed through an in-process ServeEngine (4 shards) by 4 client
+    // threads, client c owning the streams with s % 4 == c so per-stream
+    // order is preserved. ops = total accesses, so ops/s is the sustained
+    // aggregate access rate — the ROADMAP's serving success metric. Each
+    // call builds a fresh engine (stream setup is part of serving cost)
+    // and drops it without a drain (ingestion throughput, not replay).
+    // The widening stream counts move the bottleneck: 1 stream serializes
+    // behind one shard, 64 exercises shard parallelism with warm learners,
+    // 1024 (clamped to the trace length at tiny scales) is dominated by
+    // cold-stream setup and cross-stream cache pressure.
+    const SERVE_CLIENTS: usize = 4;
+    for &(name, want_streams) in &[
+        ("serve.throughput.1streams", 1usize),
+        ("serve.throughput.64streams", 64),
+        ("serve.throughput.1024streams", 1024),
+    ] {
+        let n_streams = want_streams.min(micro_trace.len()).max(1);
+        suites.push(measure(name, 7, micro_trace.len() as u64, || {
+            let engine = ServeEngine::with_template(StreamTemplate::default(), 4);
+            crossbeam::thread::scope(|scope| {
+                for client in 0..SERVE_CLIENTS {
+                    let engine = &engine;
+                    let trace = &micro_trace;
+                    scope.spawn(move |_| {
+                        for (i, a) in trace.iter().enumerate() {
+                            let stream = i % n_streams;
+                            if stream % SERVE_CLIENTS != client {
+                                continue;
+                            }
+                            black_box(engine.request(Request::Access {
+                                stream: stream as u64,
+                                access: AccessRecord {
+                                    instr_id: a.instr_id,
+                                    pc: a.pc.0,
+                                    vaddr: a.vaddr.0,
+                                    depends_on_prev: a.depends_on_prev,
+                                },
+                            }));
+                        }
+                    });
+                }
+            })
+            .expect("serve bench client scope");
+        }));
+    }
+
     // --- End-to-end report cell (generate + replay + metrics), with the
     // --- telemetry the cell recorded attached to the document. -----------
     let e2e_trace = scenario.shared_trace(Workload::Sphinx);
@@ -629,7 +681,8 @@ pub struct BaselineComparison {
     /// documents, which compare everything).
     pub baseline_tier: Option<String>,
     /// Whether the baseline's tier differs from the current run's — when
-    /// true, the tier-sensitive `snn.*` and `sim.*` suites were skipped.
+    /// true, the tier-sensitive `snn.*`, `sim.*`, and `serve.*` suites
+    /// were skipped.
     pub tier_mismatch: bool,
     /// Names of suites excluded from the gate by the tier mismatch.
     pub skipped: Vec<String>,
@@ -642,12 +695,13 @@ pub struct BaselineComparison {
 /// both runs measured).
 ///
 /// When the baseline records a `kernel_tier` different from the current
-/// run's, every `snn.*` and `sim.*` suite is excluded from the gate and
-/// listed in [`BaselineComparison::skipped`] instead: an AVX2-recorded
-/// median is not a meaningful bound for a scalar-dispatched run (or vice
-/// versa), and flagging the tier difference as a "regression" would gate
-/// on hardware, not code. (Since PR 7 the replay engine's tag, victim, and
-/// queue scans dispatch by tier too, so the whole `sim.*` family is as
+/// run's, every `snn.*`, `sim.*`, and `serve.*` suite is excluded from the
+/// gate and listed in [`BaselineComparison::skipped`] instead: an
+/// AVX2-recorded median is not a meaningful bound for a scalar-dispatched
+/// run (or vice versa), and flagging the tier difference as a "regression"
+/// would gate on hardware, not code. (Since PR 7 the replay engine's tag,
+/// victim, and queue scans dispatch by tier too, and the serve daemon's
+/// streams run SNN inference on every access, so both families are as
 /// tier-sensitive as the SNN kernels.) Baselines without the field
 /// (written before tiers existed) compare everything, preserving the old
 /// behaviour.
@@ -676,7 +730,11 @@ pub fn compare_to_baseline(
     let mut deltas = Vec::new();
     let mut skipped = Vec::new();
     for s in &report.suites {
-        if tier_mismatch && (s.name.starts_with("snn.") || s.name.starts_with("sim.")) {
+        if tier_mismatch
+            && (s.name.starts_with("snn.")
+                || s.name.starts_with("sim.")
+                || s.name.starts_with("serve."))
+        {
             skipped.push(s.name.to_string());
             continue;
         }
@@ -769,6 +827,9 @@ mod tests {
             "sim.replay.e2e.reference",
             "sim.replay.e2e.simd",
             "sim.replay.e2e.scalar",
+            "serve.throughput.1streams",
+            "serve.throughput.64streams",
+            "serve.throughput.1024streams",
             "e2e.report_cell",
         ] {
             assert!(names.contains(&expected), "missing suite {expected}");
@@ -865,8 +926,9 @@ mod tests {
     fn baseline_gate_skips_tier_sensitive_suites_on_tier_mismatch() {
         let rep = tiny_report();
         // Fabricate a baseline recorded on a different tier with absurdly
-        // fast tier-sensitive medians: without the tier skip every snn.*
-        // and sim.* suite would be flagged, with it none are compared.
+        // fast tier-sensitive medians: without the tier skip every snn.*,
+        // sim.*, and serve.* suite would be flagged, with it none are
+        // compared.
         let mut other = rep.clone();
         other.kernel_tier = if rep.kernel_tier == "scalar" {
             "avx2"
@@ -874,7 +936,10 @@ mod tests {
             "scalar"
         };
         for s in &mut other.suites {
-            if s.name.starts_with("snn.") || s.name.starts_with("sim.") {
+            if s.name.starts_with("snn.")
+                || s.name.starts_with("sim.")
+                || s.name.starts_with("serve.")
+            {
                 s.median_ns /= 1000.0;
             }
         }
@@ -883,22 +948,23 @@ mod tests {
         assert_eq!(cmp.baseline_tier.as_deref(), Some(other.kernel_tier));
         assert!(
             !cmp.skipped.is_empty()
-                && cmp
-                    .skipped
-                    .iter()
-                    .all(|n| n.starts_with("snn.") || n.starts_with("sim.")),
-            "exactly the snn.* and sim.* suites are skipped: {:?}",
+                && cmp.skipped.iter().all(|n| {
+                    n.starts_with("snn.") || n.starts_with("sim.") || n.starts_with("serve.")
+                }),
+            "exactly the snn.*, sim.*, and serve.* suites are skipped: {:?}",
             cmp.skipped
         );
         assert!(
             cmp.skipped.iter().any(|n| n.starts_with("snn."))
-                && cmp.skipped.iter().any(|n| n.starts_with("sim.")),
-            "both tier-sensitive families are excluded: {:?}",
+                && cmp.skipped.iter().any(|n| n.starts_with("sim."))
+                && cmp.skipped.iter().any(|n| n.starts_with("serve.")),
+            "all three tier-sensitive families are excluded: {:?}",
             cmp.skipped
         );
         assert!(
             cmp.deltas.iter().all(|d| !d.name.starts_with("snn.")
                 && !d.name.starts_with("sim.")
+                && !d.name.starts_with("serve.")
                 && !d.regressed),
             "tier-insensitive suites still gate, and none regress against itself"
         );

@@ -5,6 +5,7 @@ pub mod extensions;
 pub mod fig4;
 pub mod hardware;
 pub mod report;
+pub mod service;
 pub mod snn_analysis;
 pub mod sweeps;
 pub mod trace_stats;

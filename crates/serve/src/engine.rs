@@ -1,0 +1,540 @@
+//! The sharded serving engine: stream-affine worker pool + request routing.
+//!
+//! Streams are sharded by `stream_id % shards` onto persistent worker
+//! threads, each owning its streams outright (no locks on the hot path) and
+//! processing its inbox serially — which is exactly what preserves per-stream
+//! access order, and with it the bit-identical-to-batch guarantee from
+//! [`crate::stream`]. This generalizes the harness's atomic-cursor worker
+//! pool from "grid cells pulled off a shared cursor" to "live streams pinned
+//! to a shard": grid cells are finished work items, streams are long-lived
+//! state, so affinity replaces work stealing.
+//!
+//! The engine is transport-agnostic: [`ServeEngine::request`] takes a typed
+//! [`Request`] and returns a typed [`Response`], so tests drive it in-process
+//! over the same code path the Unix-socket server uses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+use pathfinder_telemetry::{counter, Snapshot};
+
+use crate::protocol::{AccessRecord, DrainedStream, Request, Response, ServeStatus, StreamStatus};
+use crate::stream::{StreamSession, StreamTemplate};
+
+/// What a shard reports for a daemon-wide `status`.
+#[derive(Debug, Clone)]
+struct ShardReport {
+    /// Live streams on the shard.
+    streams: u64,
+    /// Accesses ingested on the shard, including already-drained streams.
+    accesses: u64,
+    /// Schedule entries produced on the shard, including drained streams.
+    schedule_len: u64,
+    /// The shard thread's ambient telemetry snapshot.
+    telemetry: Snapshot,
+}
+
+/// Messages the engine sends its shard workers. Each request-shaped message
+/// carries its own reply channel, so concurrent connection threads can wait
+/// on their own replies without coordinating.
+enum ShardMsg {
+    Access {
+        stream: u64,
+        access: AccessRecord,
+        reply: Sender<Response>,
+    },
+    Predict {
+        stream: u64,
+        reply: Sender<Response>,
+    },
+    Train {
+        stream: u64,
+        accesses: Vec<AccessRecord>,
+        reply: Sender<Response>,
+    },
+    StreamStatus {
+        stream: u64,
+        reply: Sender<Response>,
+    },
+    ShardStatus {
+        reply: Sender<ShardReport>,
+    },
+    SetTemplate(Box<StreamTemplate>),
+    DrainStream {
+        stream: u64,
+        reply: Sender<Response>,
+    },
+    DrainAll {
+        reply: Sender<Vec<DrainedStream>>,
+    },
+    Stop,
+}
+
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The daemon core: a bounded pool of stream-affine shard workers.
+pub struct ServeEngine {
+    shards: Vec<ShardHandle>,
+    template: Mutex<StreamTemplate>,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("shards", &self.shards.len())
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Starts an engine with `shards` workers and the default template.
+    pub fn new(shards: usize) -> Self {
+        ServeEngine::with_template(StreamTemplate::default(), shards)
+    }
+
+    /// Starts an engine with `shards` workers built from `template`.
+    /// `shards` is clamped to at least 1.
+    pub fn with_template(template: StreamTemplate, shards: usize) -> Self {
+        let n = shards.max(1);
+        let shards = (0..n as u32)
+            .map(|shard_id| {
+                let (tx, rx) = mpsc::channel();
+                let tmpl = template.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("pf-serve-shard-{shard_id}"))
+                    .spawn(move || shard_worker(shard_id, tmpl, rx))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    tx,
+                    join: Mutex::new(Some(join)),
+                }
+            })
+            .collect();
+        ServeEngine {
+            shards,
+            template: Mutex::new(template),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Whether a full drain has completed: the daemon no longer serves and
+    /// its transport loop should exit.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn shard_for(&self, stream: u64) -> &ShardHandle {
+        &self.shards[(stream % self.shards.len() as u64) as usize]
+    }
+
+    /// Sends a per-stream message to its shard and waits for the reply.
+    fn roundtrip(&self, stream: u64, make: impl FnOnce(Sender<Response>) -> ShardMsg) -> Response {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if self.shard_for(stream).tx.send(make(reply_tx)).is_err() {
+            return Response::Error("daemon is draining".into());
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::Error("shard worker exited".into()))
+    }
+
+    /// Serves one typed request. This is the single entry point shared by
+    /// the Unix-socket transport and in-process tests.
+    pub fn request(&self, req: Request) -> Response {
+        match req {
+            Request::Access { stream, access } => {
+                self.roundtrip(stream, |reply| ShardMsg::Access {
+                    stream,
+                    access,
+                    reply,
+                })
+            }
+            Request::Predict { stream } => {
+                self.roundtrip(stream, |reply| ShardMsg::Predict { stream, reply })
+            }
+            Request::Train { stream, accesses } => {
+                self.roundtrip(stream, |reply| ShardMsg::Train {
+                    stream,
+                    accesses,
+                    reply,
+                })
+            }
+            Request::Status {
+                stream: Some(stream),
+            } => self.roundtrip(stream, |reply| ShardMsg::StreamStatus { stream, reply }),
+            Request::Status { stream: None } => self.daemon_status(),
+            Request::Configure(delta) => {
+                let mut template = self.template.lock().expect("template lock");
+                match template.apply(&delta) {
+                    Ok(()) => {
+                        for shard in &self.shards {
+                            // A closed inbox just means that shard already
+                            // stopped; configure is best-effort then.
+                            let _ = shard
+                                .tx
+                                .send(ShardMsg::SetTemplate(Box::new(template.clone())));
+                        }
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error(format!("invalid configuration: {e}")),
+                }
+            }
+            Request::Drain {
+                stream: Some(stream),
+            } => self.roundtrip(stream, |reply| ShardMsg::DrainStream { stream, reply }),
+            Request::Drain { stream: None } => self.drain_all(),
+        }
+    }
+
+    /// Daemon-wide `status`: fan out to every shard, merge the reports.
+    fn daemon_status(&self) -> Response {
+        let mut receivers = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = mpsc::channel();
+            if shard.tx.send(ShardMsg::ShardStatus { reply: tx }).is_ok() {
+                receivers.push(rx);
+            }
+        }
+        let mut streams = 0u64;
+        let mut accesses = 0u64;
+        let mut schedule_len = 0u64;
+        let mut telemetry = Snapshot::default();
+        for rx in receivers {
+            if let Ok(report) = rx.recv() {
+                streams += report.streams;
+                accesses += report.accesses;
+                schedule_len += report.schedule_len;
+                telemetry.merge(&report.telemetry);
+            }
+        }
+        Response::Status(ServeStatus {
+            shards: self.shards(),
+            streams,
+            accesses,
+            schedule_len,
+            telemetry_json: telemetry.to_json(),
+        })
+    }
+
+    /// Full drain: every stream on every shard is finished (timed replay +
+    /// final stats), the workers stop, and the engine flags itself as
+    /// draining so the transport loop shuts down.
+    fn drain_all(&self) -> Response {
+        self.draining.store(true, Ordering::SeqCst);
+        let mut receivers = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = mpsc::channel();
+            if shard.tx.send(ShardMsg::DrainAll { reply: tx }).is_ok() {
+                receivers.push(rx);
+            }
+        }
+        let mut drained: Vec<DrainedStream> = Vec::new();
+        for rx in receivers {
+            if let Ok(mut streams) = rx.recv() {
+                drained.append(&mut streams);
+            }
+        }
+        drained.sort_by_key(|s| s.stream);
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardMsg::Stop);
+            if let Some(join) = shard.join.lock().expect("join lock").take() {
+                let _ = join.join();
+            }
+        }
+        Response::Drained(drained)
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Stop workers that a full drain never reached (abandoned engine).
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardMsg::Stop);
+        }
+        for shard in &self.shards {
+            if let Some(join) = shard.join.lock().expect("join lock").take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// The shard worker loop: owns this shard's streams, processes its inbox
+/// serially (per-stream order preservation), and answers with its reply
+/// channels.
+fn shard_worker(shard_id: u32, mut template: StreamTemplate, rx: Receiver<ShardMsg>) {
+    let mut streams: HashMap<u64, StreamSession> = HashMap::new();
+    // Totals survive per-stream drains so daemon-wide `status` keeps
+    // counting work already finished.
+    let mut total_accesses = 0u64;
+    let mut total_schedule = 0u64;
+
+    // One borrow point for lazy stream creation, shared by access + train.
+    fn session_mut<'a>(
+        streams: &'a mut HashMap<u64, StreamSession>,
+        stream: u64,
+        template: &StreamTemplate,
+    ) -> Result<&'a mut StreamSession, String> {
+        use std::collections::hash_map::Entry;
+        match streams.entry(stream) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                counter!("serve.streams_created", 1);
+                Ok(e.insert(StreamSession::new(stream, template)?))
+            }
+        }
+    }
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Access {
+                stream,
+                access,
+                reply,
+            } => {
+                let resp = match session_mut(&mut streams, stream, &template) {
+                    Ok(session) => {
+                        let blocks = session.access(access);
+                        counter!("serve.accesses", 1);
+                        counter!("serve.prefetches", blocks.len() as u64);
+                        total_accesses += 1;
+                        total_schedule += blocks.len() as u64;
+                        Response::Prefetches(blocks.into_iter().map(|b| b.0).collect())
+                    }
+                    Err(e) => Response::Error(e),
+                };
+                let _ = reply.send(resp);
+            }
+            ShardMsg::Predict { stream, reply } => {
+                let resp = match streams.get(&stream) {
+                    Some(session) => Response::Prefetches(
+                        session.last_prediction().iter().map(|b| b.0).collect(),
+                    ),
+                    None => Response::Error(format!("unknown stream {stream}")),
+                };
+                let _ = reply.send(resp);
+            }
+            ShardMsg::Train {
+                stream,
+                accesses,
+                reply,
+            } => {
+                let resp = match session_mut(&mut streams, stream, &template) {
+                    Ok(session) => {
+                        let n = accesses.len() as u64;
+                        let mut prefetched = 0u64;
+                        for rec in accesses {
+                            prefetched += session.access(rec).len() as u64;
+                        }
+                        counter!("serve.accesses", n);
+                        counter!("serve.prefetches", prefetched);
+                        total_accesses += n;
+                        total_schedule += prefetched;
+                        Response::Trained {
+                            accesses: n,
+                            prefetched,
+                        }
+                    }
+                    Err(e) => Response::Error(e),
+                };
+                let _ = reply.send(resp);
+            }
+            ShardMsg::StreamStatus { stream, reply } => {
+                let resp = match streams.get(&stream) {
+                    Some(session) => Response::Stream(StreamStatus {
+                        stream,
+                        shard: shard_id,
+                        accesses: session.accesses(),
+                        schedule_len: session.schedule_len(),
+                        last_prediction: session.last_prediction().iter().map(|b| b.0).collect(),
+                        pf: session.stats(),
+                    }),
+                    None => Response::Error(format!("unknown stream {stream}")),
+                };
+                let _ = reply.send(resp);
+            }
+            ShardMsg::ShardStatus { reply } => {
+                let _ = reply.send(ShardReport {
+                    streams: streams.len() as u64,
+                    accesses: total_accesses,
+                    schedule_len: total_schedule,
+                    telemetry: pathfinder_telemetry::snapshot(),
+                });
+            }
+            ShardMsg::SetTemplate(new_template) => {
+                template = *new_template;
+            }
+            ShardMsg::DrainStream { stream, reply } => {
+                let resp = match streams.remove(&stream) {
+                    Some(session) => {
+                        counter!("serve.drains", 1);
+                        Response::Drained(vec![session.drain()])
+                    }
+                    None => Response::Error(format!("unknown stream {stream}")),
+                };
+                let _ = reply.send(resp);
+            }
+            ShardMsg::DrainAll { reply } => {
+                let mut ids: Vec<u64> = streams.keys().copied().collect();
+                ids.sort_unstable();
+                let drained: Vec<DrainedStream> = ids
+                    .into_iter()
+                    .filter_map(|id| streams.remove(&id))
+                    .map(|session| {
+                        counter!("serve.drains", 1);
+                        session.drain()
+                    })
+                    .collect();
+                let _ = reply.send(drained);
+            }
+            ShardMsg::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> AccessRecord {
+        AccessRecord {
+            instr_id: i * 2,
+            pc: 0x400,
+            vaddr: i * 64,
+            depends_on_prev: false,
+        }
+    }
+
+    #[test]
+    fn verbs_round_trip_through_the_pool() {
+        let engine = ServeEngine::new(3);
+        assert_eq!(engine.shards(), 3);
+
+        // Unknown stream: predict/status/drain all error.
+        assert!(matches!(
+            engine.request(Request::Predict { stream: 7 }),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            engine.request(Request::Status { stream: Some(7) }),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            engine.request(Request::Drain { stream: Some(7) }),
+            Response::Error(_)
+        ));
+
+        // Accesses create the stream lazily and echo the issued blocks.
+        for i in 0..50 {
+            let resp = engine.request(Request::Access {
+                stream: 7,
+                access: rec(i),
+            });
+            let Response::Prefetches(blocks) = resp else {
+                panic!("access reply was {resp:?}");
+            };
+            let Response::Prefetches(predicted) = engine.request(Request::Predict { stream: 7 })
+            else {
+                panic!("predict failed")
+            };
+            assert_eq!(blocks, predicted, "predict reads back the last access");
+        }
+
+        let Response::Stream(status) = engine.request(Request::Status { stream: Some(7) }) else {
+            panic!("stream status failed")
+        };
+        assert_eq!(status.accesses, 50);
+        assert_eq!(status.shard, 7 % 3);
+        assert_eq!(status.pf.accesses, 50);
+
+        // Train on a second stream; daemon-wide status sums both.
+        let Response::Trained { accesses, .. } = engine.request(Request::Train {
+            stream: 8,
+            accesses: (0..30).map(rec).collect(),
+        }) else {
+            panic!("train failed")
+        };
+        assert_eq!(accesses, 30);
+        let Response::Status(daemon) = engine.request(Request::Status { stream: None }) else {
+            panic!("daemon status failed")
+        };
+        assert_eq!(daemon.streams, 2);
+        assert_eq!(daemon.accesses, 80);
+        assert_eq!(daemon.shards, 3);
+
+        // Per-stream drain removes the stream; totals persist.
+        let Response::Drained(drained) = engine.request(Request::Drain { stream: Some(7) }) else {
+            panic!("drain failed")
+        };
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].stream, 7);
+        assert_eq!(drained[0].pf.accesses, 50);
+        assert!(matches!(
+            engine.request(Request::Status { stream: Some(7) }),
+            Response::Error(_)
+        ));
+        let Response::Status(daemon) = engine.request(Request::Status { stream: None }) else {
+            panic!("daemon status failed")
+        };
+        assert_eq!(daemon.streams, 1);
+        assert_eq!(daemon.accesses, 80, "drained work still counted");
+
+        // Full drain returns the remaining stream and shuts the pool down.
+        let Response::Drained(rest) = engine.request(Request::Drain { stream: None }) else {
+            panic!("full drain failed")
+        };
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].stream, 8);
+        assert!(engine.is_draining());
+        assert!(matches!(
+            engine.request(Request::Predict { stream: 8 }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn configure_applies_to_new_streams_only() {
+        let engine = ServeEngine::new(2);
+        engine.request(Request::Access {
+            stream: 1,
+            access: rec(0),
+        });
+        // Invalid delta is rejected without changing anything.
+        assert!(matches!(
+            engine.request(Request::Configure(crate::protocol::ConfigDelta {
+                degree: Some(0),
+                ..Default::default()
+            })),
+            Response::Error(_)
+        ));
+        // Valid delta: new streams see it.
+        assert!(matches!(
+            engine.request(Request::Configure(crate::protocol::ConfigDelta {
+                duty: Some((250, 5000)),
+                ..Default::default()
+            })),
+            Response::Ok
+        ));
+        engine.request(Request::Access {
+            stream: 2,
+            access: rec(0),
+        });
+        let Response::Status(daemon) = engine.request(Request::Status { stream: None }) else {
+            panic!("status failed")
+        };
+        assert_eq!(daemon.streams, 2);
+    }
+}

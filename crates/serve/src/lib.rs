@@ -1,0 +1,52 @@
+//! Prefetch-as-a-service: a long-running daemon serving many concurrent
+//! access streams, each backed by its own PATHFINDER prefetcher.
+//!
+//! The batch workflow (`repro run`) replays one trace to completion and
+//! exits; this crate turns the same learner into a service. Clients open
+//! streams implicitly by naming a 64-bit stream id, push `(pc, addr)` demand
+//! loads one at a time (`access`) or in frames (`train`), read predictions
+//! back (`predict`), inspect counters and per-shard telemetry (`status`),
+//! retune the template for future streams (`configure`), and finish streams
+//! (`drain`) — receiving the full prefetch schedule, the timed-replay
+//! [`pathfinder_sim::SimReport`], and the prefetcher's final counters.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──frames──▶ UnixListener ──▶ ServeEngine ──ShardMsg──▶ shard 0 ─▶ streams 0,S,2S…
+//!           (wire.rs)   (socket.rs)      (engine.rs)   (mpsc)      shard 1 ─▶ streams 1,S+1…
+//!                                                                  …
+//! ```
+//!
+//! Streams are sharded by `stream_id % shards` onto persistent workers,
+//! each processing its inbox serially — per-stream order is preserved by
+//! construction, with no locks on the hot path. The engine is
+//! transport-agnostic: tests call [`ServeEngine::request`] in-process; the
+//! daemon wraps the same method in length-prefixed frames on a Unix socket.
+//!
+//! # Parity discipline
+//!
+//! The non-negotiable invariant, pinned by tests in this crate and enforced
+//! in CI by the `service-smoke` job: **any single stream driven through the
+//! daemon produces bit-identical prefetch schedules, replay reports, and
+//! stats to a batch run of the same trace.** [`StreamSession::access`]
+//! replicates `generate_prefetches`' per-access loop exactly, and PATHFINDER
+//! learns online (`prepare` is a no-op), so incremental serving is the same
+//! computation as batch generation. Per-stream prefetcher seeds derive as
+//! `template.seed ^ stream_id`, so a batch comparator can reconstruct any
+//! stream from `(template, id)`.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod socket;
+pub mod stream;
+pub mod wire;
+
+pub use engine::ServeEngine;
+pub use protocol::{
+    AccessRecord, ConfigDelta, DrainedStream, Request, Response, ServeStatus, StreamStatus,
+};
+pub use socket::{serve_unix, UnixClient};
+pub use stream::{StreamSession, StreamTemplate};

@@ -1,0 +1,204 @@
+//! Unix-socket transport: the daemon's accept loop and a blocking client.
+//!
+//! Connections are one thread each, serving length-prefixed
+//! [`Request`]/[`Response`] frames until the peer disconnects. The accept
+//! loop polls a nonblocking listener so it can notice a completed full drain
+//! (`Drain { stream: None }`) and exit cleanly, removing the socket file.
+
+use std::io;
+use std::io::Read;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::ServeEngine;
+use crate::protocol::{Request, Response};
+use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
+
+/// How often the accept loop checks for shutdown while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Serves `engine` on a Unix socket at `path` until a full drain completes.
+///
+/// A stale socket file at `path` is removed before binding (daemons killed
+/// hard leave one behind); the file is removed again on clean exit. Returns
+/// once the engine reports draining and every connection thread has
+/// finished.
+///
+/// # Errors
+///
+/// Propagates bind failures and fatal accept errors.
+pub fn serve_unix(engine: Arc<ServeEngine>, path: &Path) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    while !engine.is_draining() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let engine = Arc::clone(&engine);
+                connections.push(std::thread::spawn(move || {
+                    // Peer errors end that connection, not the daemon.
+                    let _ = serve_connection(&engine, stream);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(e);
+            }
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Serves one connection: frames in, frames out, until clean EOF or drain.
+///
+/// The reader polls with [`ACCEPT_POLL`] while idle so a connection a peer
+/// holds open without sending (or the drain requester's own connection)
+/// cannot block the daemon's post-drain join forever.
+fn serve_connection(engine: &ServeEngine, stream: UnixStream) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    reader.set_read_timeout(Some(ACCEPT_POLL))?;
+    while let Some(payload) = read_frame_or_drain(engine, &mut reader)? {
+        let response = match Request::decode(&payload) {
+            Ok(request) => engine.request(request),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+/// Reads one frame from a timeout-armed stream, returning `Ok(None)` on
+/// clean EOF or when the engine starts draining while the connection is
+/// idle (no header byte in flight).
+///
+/// The 4-byte header is accumulated across timeouts so a poll expiring
+/// mid-header loses nothing; once the header is complete the stream
+/// switches to blocking for the payload (the peer has committed to a
+/// frame), then re-arms the timeout for the next idle wait.
+fn read_frame_or_drain(
+    engine: &ServeEngine,
+    stream: &mut UnixStream,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        match stream.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 && engine.is_draining() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    stream.set_read_timeout(None)?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    stream.set_read_timeout(Some(ACCEPT_POLL))?;
+    Ok(Some(payload))
+}
+
+/// A blocking client for the daemon's Unix socket.
+#[derive(Debug)]
+pub struct UnixClient {
+    stream: UnixStream,
+    path: PathBuf,
+}
+
+impl UnixClient {
+    /// Connects to the daemon at `path`, retrying for up to `timeout` while
+    /// the socket does not exist or refuses connections (the daemon may
+    /// still be starting — the CI smoke launches daemon and clients
+    /// back-to-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `timeout` elapses.
+    pub fn connect_with_retry(path: &Path, timeout: Duration) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    return Ok(UnixClient {
+                        stream,
+                        path: path.to_path_buf(),
+                    })
+                }
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+    }
+
+    /// Connects without retries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection error.
+    pub fn connect(path: &Path) -> io::Result<Self> {
+        UnixClient::connect_with_retry(path, Duration::ZERO)
+    }
+
+    /// The socket path this client is connected to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; a daemon that closed the connection
+    /// mid-exchange surfaces as [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )),
+        }
+    }
+}

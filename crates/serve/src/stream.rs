@@ -1,0 +1,264 @@
+//! Per-stream serving state: one PATHFINDER prefetcher, its accumulated
+//! trace, and the prefetch schedule it has produced so far.
+//!
+//! The parity discipline lives here. A [`StreamSession`] feeds each access
+//! through exactly the per-access loop of
+//! [`pathfinder_prefetch::generate_prefetches`] — same dedup, same
+//! `max_degree` truncation, same `PrefetchRequest` construction — and its
+//! drain replays the accumulated `(trace, schedule)` pair through the same
+//! [`Simulator`] the batch path uses. `Prefetcher::prepare` is a no-op for
+//! PATHFINDER (it learns online), so serving accesses one at a time is the
+//! same computation as handing the whole trace over at once: schedules and
+//! reports are bit-identical across the service boundary.
+
+use pathfinder_core::{PathfinderConfig, PathfinderPrefetcher, PathfinderStats};
+use pathfinder_prefetch::Prefetcher;
+use pathfinder_sim::{
+    Block, MemoryAccess, PrefetchRequest, SimConfig, SimReport, Simulator, Trace,
+};
+
+use crate::protocol::{AccessRecord, ConfigDelta, DrainedStream};
+
+/// The immutable template new streams are built from: a PATHFINDER
+/// configuration (whose seed each stream XORs its id into) and the simulator
+/// configuration used at drain time.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTemplate {
+    /// PATHFINDER configuration; `seed` is the template seed.
+    pub config: PathfinderConfig,
+    /// Simulator configuration for the drain-time timed replay.
+    pub sim: SimConfig,
+}
+
+impl StreamTemplate {
+    /// The per-stream configuration: the template with `seed ^ stream_id`,
+    /// mirroring the harness convention so a batch comparator can
+    /// reconstruct any stream's prefetcher from `(template, stream_id)`.
+    pub fn config_for_stream(&self, stream: u64) -> PathfinderConfig {
+        let mut cfg = self.config;
+        cfg.seed ^= stream;
+        cfg
+    }
+
+    /// Applies a `configure` delta, validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message when the delta produces an invalid
+    /// configuration; the template is left unchanged.
+    pub fn apply(&mut self, delta: &ConfigDelta) -> Result<(), String> {
+        let mut cfg = self.config;
+        if let Some(degree) = delta.degree {
+            cfg.degree = degree as usize;
+        }
+        if let Some(seed) = delta.seed {
+            cfg.seed = seed;
+        }
+        if let Some((on, epoch)) = delta.duty {
+            cfg.stdp_duty = pathfinder_core::StdpDutyCycle {
+                on_accesses: on,
+                epoch_accesses: epoch,
+            };
+        }
+        if let Some(entries) = delta.snn_cache_entries {
+            cfg.snn_cache_entries = entries as usize;
+        }
+        cfg.validate()?;
+        self.config = cfg;
+        Ok(())
+    }
+}
+
+/// One live stream: its prefetcher, accumulated trace, and schedule.
+#[derive(Debug)]
+pub struct StreamSession {
+    stream: u64,
+    prefetcher: PathfinderPrefetcher,
+    trace: Trace,
+    schedule: Vec<PrefetchRequest>,
+    last_prediction: Vec<Block>,
+    max_degree: usize,
+    sim: SimConfig,
+}
+
+impl StreamSession {
+    /// Creates a session for `stream` from the template.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures from the prefetcher
+    /// constructor.
+    pub fn new(stream: u64, template: &StreamTemplate) -> Result<Self, String> {
+        let config = template.config_for_stream(stream);
+        let max_degree = template.sim.max_prefetch_degree;
+        let prefetcher = PathfinderPrefetcher::new(config)?;
+        Ok(StreamSession {
+            stream,
+            prefetcher,
+            trace: Trace::new(),
+            schedule: Vec::new(),
+            last_prediction: Vec::new(),
+            max_degree,
+            sim: template.sim,
+        })
+    }
+
+    /// Stream id.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Demand loads ingested so far.
+    pub fn accesses(&self) -> u64 {
+        self.trace.len() as u64
+    }
+
+    /// Schedule entries accumulated so far.
+    pub fn schedule_len(&self) -> u64 {
+        self.schedule.len() as u64
+    }
+
+    /// Blocks predicted on the most recent access (read-only `predict`).
+    pub fn last_prediction(&self) -> &[Block] {
+        &self.last_prediction
+    }
+
+    /// The prefetcher's operational counters.
+    pub fn stats(&self) -> PathfinderStats {
+        *self.prefetcher.stats()
+    }
+
+    /// Ingests one demand load and returns the prefetch blocks issued for
+    /// it — the exact per-access body of `generate_prefetches`, applied
+    /// incrementally.
+    pub fn access(&mut self, rec: AccessRecord) -> Vec<Block> {
+        let mut access = MemoryAccess::new(rec.instr_id, rec.pc, rec.vaddr);
+        if rec.depends_on_prev {
+            access = access.dependent();
+        }
+        let blocks = self.prefetcher.on_access(&access);
+        let mut seen: Vec<Block> = Vec::with_capacity(self.max_degree);
+        for b in blocks {
+            if seen.len() >= self.max_degree {
+                break;
+            }
+            if !seen.contains(&b) {
+                seen.push(b);
+                self.schedule.push(PrefetchRequest::new(access.instr_id, b));
+            }
+        }
+        self.trace.push(access);
+        self.last_prediction = seen.clone();
+        seen
+    }
+
+    /// Finishes the stream: runs the timed replay of the accumulated trace
+    /// against the accumulated schedule (the same computation the batch
+    /// path performs) and packages the result for the `drain` reply.
+    pub fn drain(self) -> DrainedStream {
+        let report = if self.trace.is_empty() {
+            SimReport::default()
+        } else {
+            Simulator::new(self.sim).run(&self.trace, &self.schedule)
+        };
+        DrainedStream {
+            stream: self.stream,
+            schedule: self
+                .schedule
+                .iter()
+                .map(|r| (r.trigger_instr_id, r.block.0))
+                .collect(),
+            report,
+            pf: *self.prefetcher.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathfinder_prefetch::generate_prefetches;
+
+    fn synthetic(loads: u64) -> Vec<AccessRecord> {
+        // A strided stream with a periodic irregular hop: enough structure
+        // for PATHFINDER to learn from, enough noise to exercise wrong
+        // predictions too.
+        (0..loads)
+            .map(|i| AccessRecord {
+                instr_id: i * 3,
+                pc: 0x400 + (i % 4) * 8,
+                vaddr: i * 64 + if i % 17 == 0 { 4096 } else { 0 },
+                depends_on_prev: i % 5 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_access_matches_generate_prefetches() {
+        let template = StreamTemplate::default();
+        let records = synthetic(400);
+
+        let mut session = StreamSession::new(9, &template).unwrap();
+        for &r in &records {
+            session.access(r);
+        }
+        let drained = session.drain();
+
+        // Batch path: same per-stream config, same trace, one call.
+        let mut batch = PathfinderPrefetcher::new(template.config_for_stream(9)).unwrap();
+        let trace: Trace = records
+            .iter()
+            .map(|r| {
+                let a = MemoryAccess::new(r.instr_id, r.pc, r.vaddr);
+                if r.depends_on_prev {
+                    a.dependent()
+                } else {
+                    a
+                }
+            })
+            .collect();
+        let schedule = generate_prefetches(&mut batch, &trace, template.sim.max_prefetch_degree);
+        let report = Simulator::new(template.sim).run(&trace, &schedule);
+
+        let batch_pairs: Vec<(u64, u64)> = schedule
+            .iter()
+            .map(|r| (r.trigger_instr_id, r.block.0))
+            .collect();
+        assert_eq!(
+            drained.schedule, batch_pairs,
+            "schedules must be bit-identical"
+        );
+        assert_eq!(drained.report, report, "reports must be bit-identical");
+        assert_eq!(&drained.pf, batch.stats(), "stats must be bit-identical");
+    }
+
+    #[test]
+    fn empty_stream_drains_to_default_report() {
+        let session = StreamSession::new(1, &StreamTemplate::default()).unwrap();
+        let drained = session.drain();
+        assert_eq!(drained.report, SimReport::default());
+        assert!(drained.schedule.is_empty());
+    }
+
+    #[test]
+    fn configure_delta_rejects_invalid_and_applies_valid() {
+        let mut template = StreamTemplate::default();
+        let bad = ConfigDelta {
+            degree: Some(0),
+            ..ConfigDelta::default()
+        };
+        assert!(template.apply(&bad).is_err());
+        assert_eq!(template.config.degree, PathfinderConfig::default().degree);
+
+        let good = ConfigDelta {
+            seed: Some(0x1234),
+            duty: Some((250, 5000)),
+            ..ConfigDelta::default()
+        };
+        template.apply(&good).unwrap();
+        assert_eq!(template.config.seed, 0x1234);
+        assert_eq!(template.config.stdp_duty.on_accesses, 250);
+        // Per-stream seed derivation XORs the id on top.
+        assert_eq!(template.config_for_stream(5).seed, 0x1234 ^ 5);
+    }
+}

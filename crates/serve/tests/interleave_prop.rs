@@ -1,0 +1,104 @@
+//! Property test for concurrent shard scheduling: interleaving K streams'
+//! accesses in *any* order through the pool yields per-stream results
+//! identical to each stream replayed sequentially on its own.
+//!
+//! Per the ROADMAP's stub-rand constraint this is seed-robust by
+//! construction: it asserts on schedules, reports, and stats equality —
+//! values fully determined by per-stream inputs — never on which stream
+//! "wins" any cross-stream ordering.
+
+use proptest::prelude::*;
+
+use pathfinder_serve::{
+    AccessRecord, DrainedStream, Request, Response, ServeEngine, StreamSession, StreamTemplate,
+};
+
+const STREAMS: usize = 3;
+const LOADS: u64 = 40;
+
+/// Stream `s`'s deterministic access pattern: distinct stride + irregular
+/// hop per stream so the learners see genuinely different inputs.
+fn pattern(s: u64) -> Vec<AccessRecord> {
+    (0..LOADS)
+        .map(|i| AccessRecord {
+            instr_id: i * (2 + s),
+            pc: 0x400 + s * 0x1000 + (i % 3) * 8,
+            vaddr: i * 64 * (s + 1) + if i % (7 + s) == 0 { 1 << 20 } else { 0 },
+            depends_on_prev: i % (3 + s) == 0,
+        })
+        .collect()
+}
+
+/// The sequential baseline: each stream alone through its own session.
+/// Interleaving-independent, so it is computed once across all cases.
+fn sequential(template: &StreamTemplate) -> &'static [DrainedStream] {
+    static EXPECTED: std::sync::OnceLock<Vec<DrainedStream>> = std::sync::OnceLock::new();
+    EXPECTED.get_or_init(|| {
+        (0..STREAMS as u64)
+            .map(|s| {
+                let mut session = StreamSession::new(s, template).expect("valid template");
+                for rec in pattern(s) {
+                    session.access(rec);
+                }
+                session.drain()
+            })
+            .collect()
+    })
+}
+
+/// Decodes proptest draws into an interleaving: at each step, the draw
+/// picks which still-unfinished stream advances by one access.
+fn drive_interleaved(engine: &ServeEngine, picks: &[u64]) {
+    let patterns: Vec<Vec<AccessRecord>> = (0..STREAMS as u64).map(pattern).collect();
+    let mut cursors = [0usize; STREAMS];
+    let mut picks = picks.iter().copied().cycle();
+    let total: usize = patterns.iter().map(Vec::len).sum();
+    for _ in 0..total {
+        let live: Vec<usize> = (0..STREAMS)
+            .filter(|&s| cursors[s] < patterns[s].len())
+            .collect();
+        let s = live[(picks.next().expect("cycled") as usize) % live.len()];
+        let rec = patterns[s][cursors[s]];
+        cursors[s] += 1;
+        let resp = engine.request(Request::Access {
+            stream: s as u64,
+            access: rec,
+        });
+        assert!(matches!(resp, Response::Prefetches(_)));
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_interleaving_matches_sequential_replay(
+        picks in prop::collection::vec(any::<u64>(), 16..64),
+        shards in 1u64..5,
+    ) {
+        let template = StreamTemplate::default();
+        let expected = sequential(&template);
+
+        let engine = ServeEngine::with_template(template.clone(), shards as usize);
+        drive_interleaved(&engine, &picks);
+        let Response::Drained(drained) = engine.request(Request::Drain { stream: None })
+        else {
+            panic!("full drain failed")
+        };
+
+        prop_assert_eq!(drained.len(), STREAMS);
+        for (served, baseline) in drained.iter().zip(expected) {
+            prop_assert_eq!(served.stream, baseline.stream);
+            prop_assert_eq!(
+                &served.schedule, &baseline.schedule,
+                "stream {} schedule diverged under interleaving", served.stream
+            );
+            prop_assert_eq!(
+                &served.report, &baseline.report,
+                "stream {} report diverged under interleaving", served.stream
+            );
+            prop_assert_eq!(
+                &served.pf, &baseline.pf,
+                "stream {} stats diverged under interleaving", served.stream
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The tentpole invariant, pinned: any single stream driven through the
+//! serving engine produces bit-identical prefetch schedules, timed-replay
+//! reports, and prefetcher stats to a batch run of the same trace.
+//!
+//! Streams here carry real Table-5 trace prefixes and are deliberately
+//! interleaved round-robin through a multi-shard engine, so the test also
+//! pins cross-stream isolation: a neighbor stream on the same daemon must
+//! not perturb anyone else's schedule. Runs under whatever kernel tier the
+//! environment selects (CI repeats it with `PATHFINDER_FORCE_SCALAR=1`);
+//! both the daemon and the batch comparator resolve the same tier, so the
+//! invariant is tier-independent.
+
+use pathfinder_core::PathfinderPrefetcher;
+use pathfinder_prefetch::generate_prefetches;
+use pathfinder_serve::{AccessRecord, Request, Response, ServeEngine, StreamTemplate};
+use pathfinder_sim::{MemoryAccess, Simulator, Trace};
+use pathfinder_traces::Workload;
+
+fn record(a: &MemoryAccess) -> AccessRecord {
+    AccessRecord {
+        instr_id: a.instr_id,
+        pc: a.pc.0,
+        vaddr: a.vaddr.0,
+        depends_on_prev: a.depends_on_prev,
+    }
+}
+
+/// Batch-path results for one stream: `(schedule pairs, report, stats)`.
+fn batch_run(
+    template: &StreamTemplate,
+    stream: u64,
+    trace: &Trace,
+) -> (
+    Vec<(u64, u64)>,
+    pathfinder_sim::SimReport,
+    pathfinder_core::PathfinderStats,
+) {
+    let mut pf = PathfinderPrefetcher::new(template.config_for_stream(stream))
+        .expect("default template config is valid");
+    let schedule = generate_prefetches(&mut pf, trace, template.sim.max_prefetch_degree);
+    let report = Simulator::new(template.sim).run(trace, &schedule);
+    let pairs = schedule
+        .iter()
+        .map(|r| (r.trigger_instr_id, r.block.0))
+        .collect();
+    (pairs, report, *pf.stats())
+}
+
+#[test]
+fn interleaved_streams_match_batch_runs_bit_for_bit() {
+    const LOADS: usize = 2_000;
+    let workloads = [Workload::Cc5, Workload::Sphinx, Workload::Mcf];
+    let template = StreamTemplate::default();
+    let traces: Vec<Trace> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| w.generate(LOADS, 0xA11CE ^ i as u64))
+        .collect();
+
+    let engine = ServeEngine::with_template(template.clone(), 4);
+
+    // Round-robin interleave the three streams' accesses through the
+    // daemon, checking each access's reply against the accumulating
+    // expectation later via the drained schedule.
+    let max_len = traces.iter().map(Trace::len).max().unwrap();
+    for i in 0..max_len {
+        for (stream, trace) in traces.iter().enumerate() {
+            if let Some(a) = trace.accesses().get(i) {
+                let resp = engine.request(Request::Access {
+                    stream: stream as u64,
+                    access: record(a),
+                });
+                assert!(
+                    matches!(resp, Response::Prefetches(_)),
+                    "access reply was {resp:?}"
+                );
+            }
+        }
+    }
+
+    let Response::Drained(drained) = engine.request(Request::Drain { stream: None }) else {
+        panic!("full drain failed")
+    };
+    assert_eq!(drained.len(), traces.len());
+
+    for (stream, trace) in traces.iter().enumerate() {
+        let served = &drained[stream];
+        assert_eq!(served.stream, stream as u64);
+        let (schedule, report, stats) = batch_run(&template, stream as u64, trace);
+        assert!(
+            !schedule.is_empty(),
+            "workload {stream} produced no prefetches; the parity check would be vacuous"
+        );
+        assert_eq!(
+            served.schedule, schedule,
+            "stream {stream}: served schedule diverged from batch"
+        );
+        assert_eq!(
+            served.report, report,
+            "stream {stream}: served replay report diverged from batch"
+        );
+        assert_eq!(
+            served.pf, stats,
+            "stream {stream}: served prefetcher stats diverged from batch"
+        );
+    }
+}
+
+#[test]
+fn per_stream_drain_matches_batch_too() {
+    let template = StreamTemplate::default();
+    let trace = Workload::Bfs10.generate(1_000, 7);
+    let engine = ServeEngine::with_template(template.clone(), 2);
+
+    // Same stream id on both sides; a second noisy stream shares the shard
+    // space (id 3 lands on shard 1 with id 1 under 2 shards).
+    for a in trace.iter() {
+        engine.request(Request::Access {
+            stream: 1,
+            access: record(a),
+        });
+        engine.request(Request::Access {
+            stream: 3,
+            access: record(a),
+        });
+    }
+    let Response::Drained(drained) = engine.request(Request::Drain { stream: Some(1) }) else {
+        panic!("per-stream drain failed")
+    };
+    let (schedule, report, stats) = batch_run(&template, 1, &trace);
+    assert_eq!(drained[0].schedule, schedule);
+    assert_eq!(drained[0].report, report);
+    assert_eq!(drained[0].pf, stats);
+}

@@ -1,0 +1,197 @@
+//! End-to-end exercise of the Unix-socket transport: a real daemon on a
+//! real socket, concurrent clients, clean drain shutdown, and schedule
+//! parity across the full wire round trip.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pathfinder_serve::{
+    serve_unix, AccessRecord, Request, Response, ServeEngine, StreamTemplate, UnixClient,
+};
+use pathfinder_traces::Workload;
+
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pf-serve-{tag}-{}.sock", std::process::id()))
+}
+
+fn record(a: &pathfinder_sim::MemoryAccess) -> AccessRecord {
+    AccessRecord {
+        instr_id: a.instr_id,
+        pc: a.pc.0,
+        vaddr: a.vaddr.0,
+        depends_on_prev: a.depends_on_prev,
+    }
+}
+
+#[test]
+fn concurrent_clients_over_a_unix_socket_with_clean_drain() {
+    const CLIENTS: u64 = 4;
+    const LOADS: usize = 500;
+    let path = socket_path("e2e");
+    let template = StreamTemplate::default();
+    let engine = Arc::new(ServeEngine::with_template(template.clone(), 2));
+
+    let daemon = {
+        let engine = Arc::clone(&engine);
+        let path = path.clone();
+        std::thread::spawn(move || serve_unix(engine, &path))
+    };
+
+    // One client thread per stream; each alternates single `access` calls
+    // with `train` frames so both ingestion verbs cross the wire, then
+    // reads `predict` and per-stream `status` back.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|stream| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let trace = Workload::ALL[stream as usize].generate(LOADS, stream);
+                let mut client = UnixClient::connect_with_retry(&path, Duration::from_secs(10))
+                    .expect("daemon comes up");
+                let accesses = trace.accesses();
+                let (head, tail) = accesses.split_at(accesses.len() / 2);
+                for a in head {
+                    let resp = client
+                        .request(&Request::Access {
+                            stream,
+                            access: record(a),
+                        })
+                        .expect("access round trip");
+                    assert!(matches!(resp, Response::Prefetches(_)));
+                }
+                let resp = client
+                    .request(&Request::Train {
+                        stream,
+                        accesses: tail.iter().map(record).collect(),
+                    })
+                    .expect("train round trip");
+                let Response::Trained { accesses: n, .. } = resp else {
+                    panic!("train reply was {resp:?}")
+                };
+                assert_eq!(n, tail.len() as u64);
+
+                let resp = client
+                    .request(&Request::Predict { stream })
+                    .expect("predict round trip");
+                assert!(matches!(resp, Response::Prefetches(_)));
+
+                let resp = client
+                    .request(&Request::Status {
+                        stream: Some(stream),
+                    })
+                    .expect("status round trip");
+                let Response::Stream(status) = resp else {
+                    panic!("status reply was {resp:?}")
+                };
+                assert_eq!(status.accesses, LOADS as u64);
+                assert_eq!(status.pf.accesses, LOADS as u64);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    // Daemon-wide status sums every client's work.
+    let mut client =
+        UnixClient::connect_with_retry(&path, Duration::from_secs(10)).expect("connect");
+    let Response::Status(daemon_status) = client
+        .request(&Request::Status { stream: None })
+        .expect("daemon status")
+    else {
+        panic!("daemon status failed")
+    };
+    assert_eq!(daemon_status.streams, CLIENTS);
+    assert_eq!(daemon_status.accesses, CLIENTS * LOADS as u64);
+
+    // Full drain: all streams come back sorted, the accept loop exits, the
+    // socket file disappears.
+    let Response::Drained(drained) = client
+        .request(&Request::Drain { stream: None })
+        .expect("drain round trip")
+    else {
+        panic!("drain failed")
+    };
+    assert_eq!(drained.len(), CLIENTS as usize);
+    let ids: Vec<u64> = drained.iter().map(|d| d.stream).collect();
+    assert_eq!(ids, (0..CLIENTS).collect::<Vec<_>>());
+
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exited cleanly");
+    assert!(!path.exists(), "socket file removed on clean shutdown");
+
+    // Wire parity: stream 0's drained schedule matches a batch run of the
+    // same trace — the frames changed nothing.
+    let trace = Workload::ALL[0].generate(LOADS, 0);
+    let mut pf = pathfinder_core::PathfinderPrefetcher::new(template.config_for_stream(0))
+        .expect("valid config");
+    let schedule =
+        pathfinder_prefetch::generate_prefetches(&mut pf, &trace, template.sim.max_prefetch_degree);
+    let report = pathfinder_sim::Simulator::new(template.sim).run(&trace, &schedule);
+    let pairs: Vec<(u64, u64)> = schedule
+        .iter()
+        .map(|r| (r.trigger_instr_id, r.block.0))
+        .collect();
+    assert_eq!(drained[0].schedule, pairs);
+    assert_eq!(drained[0].report, report);
+    assert_eq!(&drained[0].pf, pf.stats());
+}
+
+#[test]
+fn malformed_frames_get_an_error_reply_not_a_dead_daemon() {
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    let path = socket_path("garbage");
+    let engine = Arc::new(ServeEngine::new(1));
+    let daemon = {
+        let engine = Arc::clone(&engine);
+        let path = path.clone();
+        std::thread::spawn(move || serve_unix(engine, &path))
+    };
+
+    // Wait for the daemon, then send a syntactically valid frame holding a
+    // semantically garbage payload: the daemon must answer Error, not die.
+    let mut raw = loop {
+        match UnixStream::connect(&path) {
+            Ok(s) => break s,
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let garbage = [9u8, 9, 9];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&garbage).unwrap();
+    let reply = pathfinder_serve::wire::read_frame(&mut raw)
+        .expect("reply frame")
+        .expect("daemon replied");
+    assert!(matches!(
+        Response::decode(&reply).expect("decodable reply"),
+        Response::Error(_)
+    ));
+    drop(raw);
+
+    // The daemon still serves a well-formed client afterwards.
+    let mut client =
+        UnixClient::connect_with_retry(&path, Duration::from_secs(10)).expect("connect");
+    let resp = client
+        .request(&Request::Access {
+            stream: 0,
+            access: AccessRecord {
+                instr_id: 0,
+                pc: 0x400,
+                vaddr: 0,
+                depends_on_prev: false,
+            },
+        })
+        .expect("access after garbage");
+    assert!(matches!(resp, Response::Prefetches(_)));
+    let Response::Drained(_) = client
+        .request(&Request::Drain { stream: None })
+        .expect("drain")
+    else {
+        panic!("drain failed")
+    };
+    daemon.join().unwrap().expect("clean exit");
+}

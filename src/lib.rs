@@ -12,6 +12,7 @@
 //! * [`nn`] — small LSTM library for the neural baselines
 //! * [`prefetch`] — the `Prefetcher` trait and all baselines
 //! * [`core`] — PATHFINDER itself
+//! * [`serve`] — prefetch-as-a-service daemon (sharded stream serving)
 //! * [`hw`] — area/power model
 //! * [`harness`] — experiment runners for every paper table/figure
 //! * [`telemetry`] — zero-cost counters/timers and run-report snapshots
@@ -34,6 +35,7 @@ pub use pathfinder_harness as harness;
 pub use pathfinder_hw as hw;
 pub use pathfinder_nn as nn;
 pub use pathfinder_prefetch as prefetch;
+pub use pathfinder_serve as serve;
 pub use pathfinder_sim as sim;
 pub use pathfinder_snn as snn;
 pub use pathfinder_telemetry as telemetry;

@@ -24,8 +24,9 @@
 //!          SIMD-dispatched vs forced-scalar tier pair), encoding,
 //!          per-prefetcher per-access cost, the replay engine's
 //!          dispatched vs pinned-scalar pair, the serve daemon's
-//!          sharded stream throughput, one end-to-end report cell.
-//!          Writes BENCH_pr8.json (override with --bench-out). With
+//!          sharded stream throughput (singleton and `access_batch`
+//!          frame cells), one end-to-end report cell.
+//!          Writes BENCH_pr9.json (override with --bench-out). With
 //!          --baseline <json> the run becomes a gate: exits nonzero when
 //!          any suite's median regressed more than --threshold percent
 //!          (default 40) versus the baseline document; snn.*, sim.*, and
@@ -39,8 +40,10 @@
 //!          drives --clients concurrent streams of Table-5 trace
 //!          prefixes (--loads each) through a running daemon and fails
 //!          unless every stream's drained schedule/report/stats are
-//!          bit-identical to a batch run; --no-shutdown leaves the
-//!          daemon running afterwards.
+//!          bit-identical to a batch run; --batch sends the streamed
+//!          half as 16-record access_batch frames over each client's
+//!          sticky connection instead of singleton accesses;
+//!          --no-shutdown leaves the daemon running afterwards.
 //! ```
 //!
 //! `--threads T` bounds the sweep engine's worker pool (default: available
@@ -70,6 +73,7 @@ struct Args {
     shards: usize,
     clients: usize,
     shutdown: bool,
+    batch: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -81,11 +85,12 @@ fn parse_args() -> Result<Args, String> {
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
     let mut baseline: Option<String> = None;
     let mut threshold = 40.0f64;
-    let mut bench_out = String::from("BENCH_pr8.json");
+    let mut bench_out = String::from("BENCH_pr9.json");
     let mut socket = String::from("/tmp/pathfinder-serve.sock");
     let mut shards = 4usize;
     let mut clients = 8usize;
     let mut shutdown = true;
+    let mut batch = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -186,6 +191,9 @@ fn parse_args() -> Result<Args, String> {
             "--no-shutdown" => {
                 shutdown = false;
             }
+            "--batch" => {
+                batch = true;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -216,6 +224,7 @@ fn parse_args() -> Result<Args, String> {
         shards,
         clients,
         shutdown,
+        batch,
     })
 }
 
@@ -231,7 +240,7 @@ pub fn main() -> ExitCode {
                 "usage: repro [all|fig4|fig5|fig6|fig7|fig8|fig9|tab1|tab2|tab5|tab7|tab8|tab9|ext|report|bench|serve|serve-smoke] \
                  [--loads N] [--sweep-loads N] [--seed S] [--threads T] [--workload NAME]... \
                  [--baseline JSON] [--threshold PCT] [--bench-out PATH] \
-                 [--socket PATH] [--shards N] [--clients N] [--no-shutdown]"
+                 [--socket PATH] [--shards N] [--clients N] [--batch] [--no-shutdown]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -273,6 +282,7 @@ pub fn main() -> ExitCode {
             loads: args.loads,
             seed: args.seed,
             shutdown: args.shutdown,
+            batch: args.batch,
         }) {
             Ok(text) => {
                 println!("{text}");

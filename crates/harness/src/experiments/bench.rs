@@ -109,6 +109,11 @@ pub struct BenchReport {
     /// presentation (the PR-6 acceptance figure). Exactly 1.0-ish on
     /// hosts whose dispatched tier *is* scalar — check `kernel_tier`.
     pub snn_simd_speedup: f64,
+    /// Median-speedup of the batched serving hot path
+    /// (`serve.throughput.batch16`: `access_batch` frames, sticky
+    /// requester, duty-cycled serving template) over the single-access
+    /// serve path (`serve.throughput.1streams`), per access.
+    pub serve_batch_speedup: f64,
     /// Paired-median speedup of the dispatched replay engine over the
     /// pinned-scalar tier on the end-to-end cell's trace and schedule (the
     /// PR-7 acceptance figure). ~1.0 on scalar-dispatched hosts — check
@@ -483,6 +488,50 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         }));
     }
 
+    // --- Batched serving hot path: `access_batch` frames on a sticky
+    // requester. The single-access cells above keep the default always-on
+    // template for baseline continuity; the batch cells run the
+    // configuration the service is built for — STDP duty-cycled (paper §5,
+    // first 250 of every 5000 accesses) with the frozen-query cache on —
+    // where per-access inference is cheap enough that framing and
+    // round-trip overhead dominate, which is exactly what batching
+    // amortizes. One stream, one requester thread: the single-shard frame
+    // takes the sticky direct path, and each frame's records run
+    // back-to-back as one grouped inference run on the shard thread. The
+    // derived `serve_batch_vs_single_speedup` compares the PR-8-style
+    // single-access path against this full batched serving stack.
+    let serving_template = || {
+        let mut t = StreamTemplate::default();
+        t.config.stdp_duty = StdpDutyCycle::first_n_of_5000(250);
+        t
+    };
+    for &(name, frame) in &[
+        ("serve.throughput.batch16", 16usize),
+        ("serve.throughput.batch256", 256),
+    ] {
+        suites.push(measure(name, 7, micro_trace.len() as u64, || {
+            let engine = ServeEngine::with_template(serving_template(), 4);
+            let mut requester = engine.requester();
+            for chunk in micro_trace.accesses().chunks(frame) {
+                let accesses: Vec<(u64, AccessRecord)> = chunk
+                    .iter()
+                    .map(|a| {
+                        (
+                            0u64,
+                            AccessRecord {
+                                instr_id: a.instr_id,
+                                pc: a.pc.0,
+                                vaddr: a.vaddr.0,
+                                depends_on_prev: a.depends_on_prev,
+                            },
+                        )
+                    })
+                    .collect();
+                black_box(requester.request(Request::AccessBatch { accesses }));
+            }
+        }));
+    }
+
     // --- End-to-end report cell (generate + replay + metrics), with the
     // --- telemetry the cell recorded attached to the document. -----------
     let e2e_trace = scenario.shared_trace(Workload::Sphinx);
@@ -513,6 +562,8 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     let pathfinder_cached_speedup =
         median("prefetcher.pathfinder.steady") / median("prefetcher.pathfinder.cached");
     let sim_replay_speedup = replay_ratio;
+    let serve_batch_speedup =
+        median("serve.throughput.1streams") / median("serve.throughput.batch16");
 
     BenchReport {
         opts: *opts,
@@ -522,6 +573,7 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         sim_replay_speedup,
         snn_simd_speedup,
         sim_simd_speedup,
+        serve_batch_speedup,
         kernel_tier: pathfinder_snn::active_tier().name(),
         telemetry,
     }
@@ -597,6 +649,8 @@ impl BenchReport {
         json::write_f64(&mut out, self.snn_simd_speedup);
         out.push_str(",\"sim_replay_simd_vs_scalar_speedup\":");
         json::write_f64(&mut out, self.sim_simd_speedup);
+        out.push_str(",\"serve_batch_vs_single_speedup\":");
+        json::write_f64(&mut out, self.serve_batch_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -637,6 +691,10 @@ impl BenchReport {
         out.push_str(&format!(
             "Replay engine: dispatched scans are {:.2}x the pinned-scalar tier\n",
             self.sim_simd_speedup
+        ));
+        out.push_str(&format!(
+            "Serve daemon: batched hot path (access_batch x16, sticky, duty-cycled) is {:.2}x the single-access path\n",
+            self.serve_batch_speedup
         ));
         out
     }
@@ -830,11 +888,14 @@ mod tests {
             "serve.throughput.1streams",
             "serve.throughput.64streams",
             "serve.throughput.1024streams",
+            "serve.throughput.batch16",
+            "serve.throughput.batch256",
             "e2e.report_cell",
         ] {
             assert!(names.contains(&expected), "missing suite {expected}");
         }
         assert!(rep.suites.iter().all(|s| s.median_ns > 0.0));
+        assert!(rep.serve_batch_speedup.is_finite() && rep.serve_batch_speedup > 0.0);
         assert!(rep.present32_speedup.is_finite() && rep.present32_speedup > 0.0);
         assert!(rep.pathfinder_cached_speedup.is_finite() && rep.pathfinder_cached_speedup > 0.0);
         assert!(rep.sim_replay_speedup.is_finite() && rep.sim_replay_speedup > 0.0);

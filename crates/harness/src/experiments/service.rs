@@ -46,6 +46,10 @@ pub struct SmokeOpts {
     /// When true, the smoke finishes by draining the daemon itself
     /// (`drain` with no stream), shutting it down.
     pub shutdown: bool,
+    /// When true, each client drives part of its trace as `access_batch`
+    /// frames over its long-lived (sticky) connection instead of pure
+    /// singleton `access` calls, exercising the batched hot path.
+    pub batch: bool,
 }
 
 /// Runs the daemon on `opts.socket` until a full `drain` shuts it down.
@@ -89,25 +93,47 @@ fn drive_stream(
     stream: u64,
     workload: Workload,
     trace: &Trace,
+    batch: bool,
 ) -> Result<ClientOutcome, String> {
     let mut client = UnixClient::connect_with_retry(socket, Duration::from_secs(30))
         .map_err(|e| format!("stream {stream}: connect to {}: {e}", socket.display()))?;
     let fail = |what: &str, resp: &Response| format!("stream {stream}: {what} replied {resp:?}");
 
-    // First half one access at a time (echoed prefetches each reply),
-    // second half as one `train` frame — both ingestion verbs cross the
-    // wire and must compose into one bit-identical schedule.
+    // First half one access at a time (echoed prefetches each reply) —
+    // or, under `--batch`, as 16-record `access_batch` frames — second
+    // half as one `train` frame. Every ingestion verb that crosses the
+    // wire must compose into one bit-identical schedule.
     let accesses = trace.accesses();
     let (head, tail) = accesses.split_at(accesses.len() / 2);
-    for a in head {
-        let resp = client
-            .request(&Request::Access {
-                stream,
-                access: record(a),
-            })
-            .map_err(|e| format!("stream {stream}: access: {e}"))?;
-        if !matches!(resp, Response::Prefetches(_)) {
-            return Err(fail("access", &resp));
+    if batch {
+        for chunk in head.chunks(16) {
+            let resp = client
+                .request(&Request::AccessBatch {
+                    accesses: chunk.iter().map(|a| (stream, record(a))).collect(),
+                })
+                .map_err(|e| format!("stream {stream}: access_batch: {e}"))?;
+            let Response::PrefetchBatch(parts) = resp else {
+                return Err(fail("access_batch", &resp));
+            };
+            if parts.len() != chunk.len() {
+                return Err(format!(
+                    "stream {stream}: access_batch returned {} reply slots for {} records",
+                    parts.len(),
+                    chunk.len()
+                ));
+            }
+        }
+    } else {
+        for a in head {
+            let resp = client
+                .request(&Request::Access {
+                    stream,
+                    access: record(a),
+                })
+                .map_err(|e| format!("stream {stream}: access: {e}"))?;
+            if !matches!(resp, Response::Prefetches(_)) {
+                return Err(fail("access", &resp));
+            }
         }
     }
     let resp = client
@@ -184,9 +210,10 @@ pub fn smoke(opts: &SmokeOpts) -> Result<String, String> {
                 let workload = Workload::ALL[stream as usize % Workload::ALL.len()];
                 let loads = opts.loads;
                 let seed = opts.seed ^ stream;
+                let batch = opts.batch;
                 scope.spawn(move |_| {
                     let trace = workload.generate(loads, seed);
-                    drive_stream(&socket, template, stream, workload, &trace)
+                    drive_stream(&socket, template, stream, workload, &trace, batch)
                 })
             })
             .collect();
@@ -270,8 +297,13 @@ pub fn smoke(opts: &SmokeOpts) -> Result<String, String> {
             failures.join("\n  ")
         ));
     }
+    let mode = if opts.batch {
+        "access_batch x16 frames"
+    } else {
+        "singleton accesses"
+    };
     Ok(format!(
-        "## serve-smoke: {} concurrent client(s), {} loads each — all bit-identical to batch\n\n{}\n{status_line}",
+        "## serve-smoke: {} concurrent client(s), {} loads each via {mode} — all bit-identical to batch\n\n{}\n{status_line}",
         opts.clients,
         opts.loads,
         table.render()
@@ -284,10 +316,12 @@ mod tests {
 
     /// The full daemon + smoke pair, in-process: daemon thread on a temp
     /// socket, the real smoke driver against it, clean shutdown at the end.
-    #[test]
-    fn smoke_passes_against_a_live_daemon() {
-        let socket =
-            std::env::temp_dir().join(format!("pf-serve-smoke-unit-{}.sock", std::process::id()));
+    /// Runs once per ingestion mode (singleton and `--batch`).
+    fn smoke_round_trip(tag: &str, batch: bool) {
+        let socket = std::env::temp_dir().join(format!(
+            "pf-serve-smoke-unit-{tag}-{}.sock",
+            std::process::id()
+        ));
         let opts = ServeOpts {
             socket: socket.to_string_lossy().into_owned(),
             shards: 2,
@@ -302,11 +336,25 @@ mod tests {
             loads: 600,
             seed: 42,
             shutdown: true,
+            batch,
         })
         .expect("smoke passes");
         assert!(text.contains("bit-identical"));
         assert!(!text.contains("DIVERGED"));
+        if batch {
+            assert!(text.contains("access_batch"));
+        }
         daemon.join().expect("daemon thread").expect("clean exit");
         assert!(!socket.exists());
+    }
+
+    #[test]
+    fn smoke_passes_against_a_live_daemon() {
+        smoke_round_trip("single", false);
+    }
+
+    #[test]
+    fn batched_smoke_passes_against_a_live_daemon() {
+        smoke_round_trip("batch", true);
     }
 }

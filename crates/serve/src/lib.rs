@@ -4,11 +4,19 @@
 //! The batch workflow (`repro run`) replays one trace to completion and
 //! exits; this crate turns the same learner into a service. Clients open
 //! streams implicitly by naming a 64-bit stream id, push `(pc, addr)` demand
-//! loads one at a time (`access`) or in frames (`train`), read predictions
-//! back (`predict`), inspect counters and per-shard telemetry (`status`),
-//! retune the template for future streams (`configure`), and finish streams
-//! (`drain`) — receiving the full prefetch schedule, the timed-replay
-//! [`pathfinder_sim::SimReport`], and the prefetcher's final counters.
+//! loads one at a time (`access`), many per frame with per-record replies
+//! (`access_batch`), or in aggregate-reply frames (`train`), read
+//! predictions back (`predict`), inspect counters and per-shard telemetry
+//! (`status`), retune the template for future streams (`configure`), and
+//! finish streams (`drain`) — receiving the full prefetch schedule, the
+//! timed-replay [`pathfinder_sim::SimReport`], and the prefetcher's final
+//! counters.
+//!
+//! The serving hot path is batched at every layer (see [`engine`]):
+//! `access_batch` amortizes framing, shard workers drain their inboxes in
+//! bursts and group contiguous access runs by stream so duty-cycled frozen
+//! inference runs back-to-back with warm weights, and each connection holds
+//! a sticky [`Requester`] whose reply channels are reused across requests.
 //!
 //! # Architecture
 //!
@@ -44,9 +52,10 @@ pub mod socket;
 pub mod stream;
 pub mod wire;
 
-pub use engine::ServeEngine;
+pub use engine::{Requester, ServeEngine};
 pub use protocol::{
     AccessRecord, ConfigDelta, DrainedStream, Request, Response, ServeStatus, StreamStatus,
+    MAX_BATCH_RECORDS,
 };
 pub use socket::{serve_unix, UnixClient};
 pub use stream::{StreamSession, StreamTemplate};

@@ -1,10 +1,16 @@
 //! The typed request/response protocol the daemon answers.
 //!
-//! Six verbs, mirroring the daemon + typed-IPC-dispatch shape the ROADMAP
+//! Seven verbs, mirroring the daemon + typed-IPC-dispatch shape the ROADMAP
 //! points at:
 //!
 //! * [`Request::Access`] — observe one demand load on a stream; the reply
 //!   carries the prefetch blocks issued for exactly that trigger.
+//! * [`Request::AccessBatch`] — observe N demand loads across any mix of
+//!   streams in one frame; the reply carries N block vectors, one per
+//!   record in request order. This amortizes framing and the shard
+//!   round trip over the whole batch while producing the same per-access
+//!   answers `access` would (records for the same stream are applied in
+//!   frame order).
 //! * [`Request::Predict`] — read back the blocks predicted on the stream's
 //!   most recent access, without advancing any state (idempotent).
 //! * [`Request::Train`] — bulk-ingest a batch of accesses through the same
@@ -108,8 +114,14 @@ impl ConfigDelta {
     }
 }
 
+/// Upper bound on records in one `access_batch` frame. At 25 wire bytes per
+/// record the cap keeps the largest batch frame (~1.6 MiB) comfortably under
+/// [`crate::wire::MAX_FRAME_LEN`], and it is enforced at decode time so a
+/// hostile header cannot reserve unbounded memory.
+pub const MAX_BATCH_RECORDS: usize = 1 << 16;
+
 /// A client request. Streams are named by caller-chosen 64-bit ids and
-/// created lazily on their first `access`/`train`.
+/// created lazily on their first `access`/`access_batch`/`train`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Observe one demand load on `stream`.
@@ -118,6 +130,14 @@ pub enum Request {
         stream: u64,
         /// The load.
         access: AccessRecord,
+    },
+    /// Observe up to [`MAX_BATCH_RECORDS`] demand loads, each tagged with
+    /// its stream, in one frame. The reply is
+    /// [`Response::PrefetchBatch`] with one block vector per record, in
+    /// request order.
+    AccessBatch {
+        /// `(stream, load)` records; same-stream records apply in order.
+        accesses: Vec<(u64, AccessRecord)>,
     },
     /// Read the prefetches issued for `stream`'s most recent access.
     Predict {
@@ -153,6 +173,10 @@ const REQ_TRAIN: u8 = 3;
 const REQ_STATUS: u8 = 4;
 const REQ_CONFIGURE: u8 = 5;
 const REQ_DRAIN: u8 = 6;
+const REQ_ACCESS_BATCH: u8 = 7;
+
+/// Wire bytes one `(stream, AccessRecord)` batch record occupies.
+const BATCH_RECORD_BYTES: usize = 8 + 8 + 8 + 8 + 1;
 
 impl Request {
     /// Serializes the request to a frame payload.
@@ -163,6 +187,16 @@ impl Request {
                 e.u8(REQ_ACCESS);
                 e.u64(*stream);
                 access.encode(&mut e);
+            }
+            Request::AccessBatch { accesses } => {
+                let mut enc = Enc::with_capacity(1 + 4 + accesses.len() * BATCH_RECORD_BYTES);
+                enc.u8(REQ_ACCESS_BATCH);
+                enc.u32(accesses.len() as u32);
+                for (stream, rec) in accesses {
+                    enc.u64(*stream);
+                    rec.encode(&mut enc);
+                }
+                return enc.into_bytes();
             }
             Request::Predict { stream } => {
                 e.u8(REQ_PREDICT);
@@ -222,6 +256,20 @@ impl Request {
             REQ_DRAIN => Request::Drain {
                 stream: d.opt_u64()?,
             },
+            REQ_ACCESS_BATCH => {
+                let n = d.u32()? as usize;
+                if n > MAX_BATCH_RECORDS {
+                    return Err(WireError(format!(
+                        "access_batch of {n} records exceeds the {MAX_BATCH_RECORDS}-record cap"
+                    )));
+                }
+                let mut accesses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let stream = d.u64()?;
+                    accesses.push((stream, AccessRecord::decode(&mut d)?));
+                }
+                Request::AccessBatch { accesses }
+            }
             other => return Err(WireError(format!("unknown request tag {other}"))),
         };
         if !d.is_empty() {
@@ -284,6 +332,8 @@ pub struct DrainedStream {
 pub enum Response {
     /// Blocks to prefetch (for `access`; also `predict`'s read-back).
     Prefetches(Vec<u64>),
+    /// Blocks to prefetch per `access_batch` record, in request order.
+    PrefetchBatch(Vec<Vec<u64>>),
     /// Aggregate outcome of a `train` batch.
     Trained {
         /// Accesses ingested.
@@ -311,6 +361,7 @@ const RESP_STATUS: u8 = 4;
 const RESP_DRAINED: u8 = 5;
 const RESP_OK: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_PREFETCH_BATCH: u8 = 8;
 
 fn encode_report(e: &mut Enc, r: &SimReport) {
     for v in [
@@ -413,6 +464,18 @@ impl Response {
                 e.u8(RESP_PREFETCHES);
                 encode_blocks(&mut e, blocks);
             }
+            Response::PrefetchBatch(batch) => {
+                // Degree caps each record's vector at a handful of blocks;
+                // pre-sizing for 2 per record avoids regrowth on the hot
+                // serving path.
+                let mut enc = Enc::with_capacity(1 + 4 + batch.len() * (4 + 2 * 8));
+                enc.u8(RESP_PREFETCH_BATCH);
+                enc.u32(batch.len() as u32);
+                for blocks in batch {
+                    encode_blocks(&mut enc, blocks);
+                }
+                return enc.into_bytes();
+            }
             Response::Trained {
                 accesses,
                 prefetched,
@@ -471,6 +534,19 @@ impl Response {
         let mut d = Dec::new(payload);
         let resp = match d.u8()? {
             RESP_PREFETCHES => Response::Prefetches(decode_blocks(&mut d)?),
+            RESP_PREFETCH_BATCH => {
+                let n = d.u32()? as usize;
+                if n > MAX_BATCH_RECORDS {
+                    return Err(WireError(format!(
+                        "prefetch_batch of {n} records exceeds the {MAX_BATCH_RECORDS}-record cap"
+                    )));
+                }
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(decode_blocks(&mut d)?);
+                }
+                Response::PrefetchBatch(out)
+            }
             RESP_TRAINED => Response::Trained {
                 accesses: d.u64()?,
                 prefetched: d.u64()?,
@@ -557,6 +633,24 @@ mod tests {
                 })
                 .collect(),
         });
+        round_trip_req(Request::AccessBatch {
+            accesses: (0..17)
+                .map(|i| {
+                    (
+                        i % 3,
+                        AccessRecord {
+                            instr_id: i * 7,
+                            pc: 0x400 + i,
+                            vaddr: i * 64,
+                            depends_on_prev: i % 4 == 0,
+                        },
+                    )
+                })
+                .collect(),
+        });
+        round_trip_req(Request::AccessBatch {
+            accesses: Vec::new(),
+        });
         round_trip_req(Request::Status { stream: None });
         round_trip_req(Request::Status { stream: Some(9) });
         round_trip_req(Request::Configure(ConfigDelta {
@@ -572,6 +666,12 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         round_trip_resp(Response::Prefetches(vec![1, 2, u64::MAX]));
+        round_trip_resp(Response::PrefetchBatch(vec![
+            vec![1, 2],
+            Vec::new(),
+            vec![u64::MAX],
+        ]));
+        round_trip_resp(Response::PrefetchBatch(Vec::new()));
         round_trip_resp(Response::Trained {
             accesses: 2000,
             prefetched: 311,
@@ -622,5 +722,29 @@ mod tests {
         let mut bytes = Response::Ok.encode();
         bytes.push(1);
         assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_and_truncated_batches_are_rejected() {
+        // A declared record count over the cap is rejected before any
+        // allocation or record parsing happens.
+        let mut e = Enc::new();
+        e.u8(7); // REQ_ACCESS_BATCH
+        e.u32((MAX_BATCH_RECORDS + 1) as u32);
+        let err = Request::decode(&e.into_bytes()).unwrap_err();
+        assert!(err.0.contains("cap"), "got: {err}");
+
+        // A batch whose payload runs out mid-record is a truncation error.
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(3);
+        e.u64(0); // stream of record 0 only
+        assert!(Request::decode(&e.into_bytes()).is_err());
+
+        // Same caps on the reply side.
+        let mut e = Enc::new();
+        e.u8(8); // RESP_PREFETCH_BATCH
+        e.u32((MAX_BATCH_RECORDS + 1) as u32);
+        assert!(Response::decode(&e.into_bytes()).is_err());
     }
 }

@@ -66,16 +66,22 @@ pub fn serve_unix(engine: Arc<ServeEngine>, path: &Path) -> io::Result<()> {
 
 /// Serves one connection: frames in, frames out, until clean EOF or drain.
 ///
+/// The connection holds one sticky [`ServeEngine::requester`] for its whole
+/// lifetime, so every frame it serves reuses the same reply channels — no
+/// per-request allocation — and single-shard `access_batch` frames take the
+/// direct path to their shard.
+///
 /// The reader polls with [`ACCEPT_POLL`] while idle so a connection a peer
 /// holds open without sending (or the drain requester's own connection)
 /// cannot block the daemon's post-drain join forever.
 fn serve_connection(engine: &ServeEngine, stream: UnixStream) -> io::Result<()> {
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
+    let mut requester = engine.requester();
     reader.set_read_timeout(Some(ACCEPT_POLL))?;
     while let Some(payload) = read_frame_or_drain(engine, &mut reader)? {
         let response = match Request::decode(&payload) {
-            Ok(request) => engine.request(request),
+            Ok(request) => requester.request(request),
             Err(e) => Response::Error(e.to_string()),
         };
         write_frame(&mut writer, &response.encode())?;

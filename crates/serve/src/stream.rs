@@ -152,6 +152,24 @@ impl StreamSession {
         seen
     }
 
+    /// Ingests a run of demand loads back-to-back and returns the blocks
+    /// issued for each, in input order, plus the number of frozen SNN
+    /// inferences the run executed (`snn_cache_misses` delta — every
+    /// duty-cycled-off query that missed the memoization cache ran
+    /// `present_frozen` on this thread with the weights still warm).
+    ///
+    /// This is the grouped-inference half of the serve batching story: the
+    /// result is bit-identical to calling [`StreamSession::access`] once per
+    /// record — grouping only keeps the same prefetcher's scratch and
+    /// weights hot across consecutive queries instead of interleaving other
+    /// streams between them.
+    pub fn access_run(&mut self, recs: &[AccessRecord]) -> (Vec<Vec<Block>>, u64) {
+        let misses_before = self.prefetcher.stats().snn_cache_misses;
+        let out = recs.iter().map(|&rec| self.access(rec)).collect();
+        let grouped = self.prefetcher.stats().snn_cache_misses - misses_before;
+        (out, grouped)
+    }
+
     /// Finishes the stream: runs the timed replay of the accumulated trace
     /// against the accumulated schedule (the same computation the batch
     /// path performs) and packages the result for the `drain` reply.
@@ -230,6 +248,34 @@ mod tests {
         );
         assert_eq!(drained.report, report, "reports must be bit-identical");
         assert_eq!(&drained.pf, batch.stats(), "stats must be bit-identical");
+    }
+
+    #[test]
+    fn access_run_matches_one_at_a_time_and_counts_frozen_inferences() {
+        // Duty-cycled template so the run actually exercises the frozen
+        // path whose grouped inferences access_run reports.
+        let mut template = StreamTemplate::default();
+        template.config.stdp_duty = pathfinder_core::StdpDutyCycle::first_n_of_5000(100);
+        let records = synthetic(600);
+
+        let mut one_at_a_time = StreamSession::new(3, &template).unwrap();
+        let singles: Vec<Vec<Block>> = records.iter().map(|&r| one_at_a_time.access(r)).collect();
+
+        let mut grouped = StreamSession::new(3, &template).unwrap();
+        let mut runs = Vec::new();
+        let mut frozen = 0u64;
+        for chunk in records.chunks(37) {
+            let (blocks, grouped_inferences) = grouped.access_run(chunk);
+            runs.extend(blocks);
+            frozen += grouped_inferences;
+        }
+        assert_eq!(singles, runs, "grouping must not change any prediction");
+        assert_eq!(
+            frozen,
+            grouped.stats().snn_cache_misses,
+            "every cache-missing frozen query is reported as grouped work"
+        );
+        assert_eq!(one_at_a_time.drain().schedule, grouped.drain().schedule);
     }
 
     #[test]

@@ -101,6 +101,15 @@ impl Enc {
         Enc::default()
     }
 
+    /// Creates an empty encoder with `bytes` of payload capacity
+    /// pre-reserved — used by the batch verbs, whose payload size is known
+    /// up front, to keep frame encoding to a single allocation.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Enc {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
     /// Consumes the encoder, yielding the payload bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

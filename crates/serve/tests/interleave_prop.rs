@@ -1,6 +1,8 @@
 //! Property test for concurrent shard scheduling: interleaving K streams'
-//! accesses in *any* order through the pool yields per-stream results
-//! identical to each stream replayed sequentially on its own.
+//! accesses in *any* order through the pool — as one-shot `access` calls,
+//! sticky-requester `access` calls, or cross-stream `access_batch` frames —
+//! yields per-stream results identical to each stream replayed sequentially
+//! on its own.
 //!
 //! Per the ROADMAP's stub-rand constraint this is seed-robust by
 //! construction: it asserts on schedules, reports, and stats equality —
@@ -47,24 +49,61 @@ fn sequential(template: &StreamTemplate) -> &'static [DrainedStream] {
 }
 
 /// Decodes proptest draws into an interleaving: at each step, the draw
-/// picks which still-unfinished stream advances by one access.
+/// picks which still-unfinished stream(s) advance, and over which verb
+/// shape — a one-shot `access` (fresh reply channels), an `access` on the
+/// long-lived sticky requester, or a cross-stream `access_batch` frame of
+/// up to 5 records.
 fn drive_interleaved(engine: &ServeEngine, picks: &[u64]) {
     let patterns: Vec<Vec<AccessRecord>> = (0..STREAMS as u64).map(pattern).collect();
     let mut cursors = [0usize; STREAMS];
     let mut picks = picks.iter().copied().cycle();
+    let mut sticky = engine.requester();
     let total: usize = patterns.iter().map(Vec::len).sum();
-    for _ in 0..total {
+    let mut sent = 0usize;
+    while sent < total {
+        let pick = picks.next().expect("cycled");
         let live: Vec<usize> = (0..STREAMS)
             .filter(|&s| cursors[s] < patterns[s].len())
             .collect();
-        let s = live[(picks.next().expect("cycled") as usize) % live.len()];
-        let rec = patterns[s][cursors[s]];
-        cursors[s] += 1;
-        let resp = engine.request(Request::Access {
-            stream: s as u64,
-            access: rec,
-        });
-        assert!(matches!(resp, Response::Prefetches(_)));
+        match pick % 3 {
+            shape @ (0 | 1) => {
+                let s = live[((pick >> 2) as usize) % live.len()];
+                let req = Request::Access {
+                    stream: s as u64,
+                    access: patterns[s][cursors[s]],
+                };
+                cursors[s] += 1;
+                let resp = if shape == 0 {
+                    engine.request(req)
+                } else {
+                    sticky.request(req)
+                };
+                assert!(matches!(resp, Response::Prefetches(_)));
+                sent += 1;
+            }
+            _ => {
+                let want = 1 + ((pick >> 2) % 5) as usize;
+                let mut accesses = Vec::new();
+                for k in 0..want {
+                    let live: Vec<usize> = (0..STREAMS)
+                        .filter(|&s| cursors[s] < patterns[s].len())
+                        .collect();
+                    if live.is_empty() {
+                        break;
+                    }
+                    let s = live[((pick >> (8 + 2 * k)) as usize) % live.len()];
+                    accesses.push((s as u64, patterns[s][cursors[s]]));
+                    cursors[s] += 1;
+                }
+                let n = accesses.len();
+                let resp = sticky.request(Request::AccessBatch { accesses });
+                let Response::PrefetchBatch(parts) = resp else {
+                    panic!("access_batch reply was {resp:?}")
+                };
+                assert_eq!(parts.len(), n, "one reply slot per batch record");
+                sent += n;
+            }
+        }
     }
 }
 

@@ -107,6 +107,96 @@ fn interleaved_streams_match_batch_runs_bit_for_bit() {
 }
 
 #[test]
+fn batched_and_sticky_traffic_matches_batch_runs_bit_for_bit() {
+    const LOADS: usize = 1_500;
+    let workloads = [Workload::Cc5, Workload::Sphinx, Workload::Mcf];
+    let template = StreamTemplate::default();
+    let traces: Vec<Trace> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| w.generate(LOADS, 0xBEEF ^ i as u64))
+        .collect();
+
+    let engine = ServeEngine::with_template(template.clone(), 4);
+    let mut sticky = engine.requester();
+
+    // Alternate cross-stream `access_batch` frames (up to 7 records per
+    // live stream, slots in stream order) with singleton bursts on the
+    // sticky requester, until every trace is consumed.
+    let mut cursors = vec![0usize; traces.len()];
+    let mut round = 0usize;
+    loop {
+        let live: Vec<usize> = (0..traces.len())
+            .filter(|&s| cursors[s] < traces[s].len())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        if round % 3 == 2 {
+            let s = live[round % live.len()];
+            for _ in 0..5 {
+                if cursors[s] >= traces[s].len() {
+                    break;
+                }
+                let resp = sticky.request(Request::Access {
+                    stream: s as u64,
+                    access: record(&traces[s].accesses()[cursors[s]]),
+                });
+                assert!(matches!(resp, Response::Prefetches(_)));
+                cursors[s] += 1;
+            }
+        } else {
+            let mut accesses: Vec<(u64, AccessRecord)> = Vec::new();
+            for &s in &live {
+                for _ in 0..7 {
+                    if cursors[s] >= traces[s].len() {
+                        break;
+                    }
+                    accesses.push((s as u64, record(&traces[s].accesses()[cursors[s]])));
+                    cursors[s] += 1;
+                }
+            }
+            let streams_in_frame: Vec<u64> = accesses.iter().map(|(s, _)| *s).collect();
+            let n = accesses.len();
+            let Response::PrefetchBatch(parts) = sticky.request(Request::AccessBatch { accesses })
+            else {
+                panic!("access_batch failed")
+            };
+            assert_eq!(parts.len(), n, "one reply slot per record");
+            // Slot alignment: each stream's final record in the frame must
+            // read back as that stream's current prediction.
+            for &s in &live {
+                if let Some(pos) = streams_in_frame.iter().rposition(|&x| x == s as u64) {
+                    let Response::Prefetches(pred) =
+                        engine.request(Request::Predict { stream: s as u64 })
+                    else {
+                        panic!("predict failed")
+                    };
+                    assert_eq!(parts[pos], pred, "stream {s}: slot misaligned");
+                }
+            }
+        }
+        round += 1;
+    }
+
+    let Response::Drained(drained) = engine.request(Request::Drain { stream: None }) else {
+        panic!("full drain failed")
+    };
+    assert_eq!(drained.len(), traces.len());
+    for (stream, trace) in traces.iter().enumerate() {
+        let served = &drained[stream];
+        let (schedule, report, stats) = batch_run(&template, stream as u64, trace);
+        assert!(!schedule.is_empty(), "vacuous parity check");
+        assert_eq!(
+            served.schedule, schedule,
+            "stream {stream}: batched/sticky schedule diverged from batch"
+        );
+        assert_eq!(served.report, report);
+        assert_eq!(served.pf, stats);
+    }
+}
+
+#[test]
 fn per_stream_drain_matches_batch_too() {
     let template = StreamTemplate::default();
     let trace = Workload::Bfs10.generate(1_000, 7);

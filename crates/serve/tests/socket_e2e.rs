@@ -37,9 +37,10 @@ fn concurrent_clients_over_a_unix_socket_with_clean_drain() {
         std::thread::spawn(move || serve_unix(engine, &path))
     };
 
-    // One client thread per stream; each alternates single `access` calls
-    // with `train` frames so both ingestion verbs cross the wire, then
-    // reads `predict` and per-stream `status` back.
+    // One client thread per stream; each mixes single `access` calls,
+    // `access_batch` frames, and `train` frames so all three ingestion
+    // verbs cross the wire, then reads `predict` and per-stream `status`
+    // back.
     let workers: Vec<_> = (0..CLIENTS)
         .map(|stream| {
             let path = path.clone();
@@ -49,7 +50,8 @@ fn concurrent_clients_over_a_unix_socket_with_clean_drain() {
                     .expect("daemon comes up");
                 let accesses = trace.accesses();
                 let (head, tail) = accesses.split_at(accesses.len() / 2);
-                for a in head {
+                let (singles, batched) = head.split_at(head.len() / 2);
+                for a in singles {
                     let resp = client
                         .request(&Request::Access {
                             stream,
@@ -57,6 +59,19 @@ fn concurrent_clients_over_a_unix_socket_with_clean_drain() {
                         })
                         .expect("access round trip");
                     assert!(matches!(resp, Response::Prefetches(_)));
+                }
+                // Stream-local frames: all records map to one shard, so
+                // the daemon side takes the sticky direct path.
+                for chunk in batched.chunks(32) {
+                    let resp = client
+                        .request(&Request::AccessBatch {
+                            accesses: chunk.iter().map(|a| (stream, record(a))).collect(),
+                        })
+                        .expect("access_batch round trip");
+                    let Response::PrefetchBatch(parts) = resp else {
+                        panic!("access_batch reply was {resp:?}")
+                    };
+                    assert_eq!(parts.len(), chunk.len());
                 }
                 let resp = client
                     .request(&Request::Train {
@@ -187,6 +202,123 @@ fn malformed_frames_get_an_error_reply_not_a_dead_daemon() {
         })
         .expect("access after garbage");
     assert!(matches!(resp, Response::Prefetches(_)));
+    let Response::Drained(_) = client
+        .request(&Request::Drain { stream: None })
+        .expect("drain")
+    else {
+        panic!("drain failed")
+    };
+    daemon.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn batch_frames_cross_shards_and_bad_batches_are_rejected() {
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    let path = socket_path("batch");
+    let engine = Arc::new(ServeEngine::new(2));
+    let daemon = {
+        let engine = Arc::clone(&engine);
+        let path = path.clone();
+        std::thread::spawn(move || serve_unix(engine, &path))
+    };
+
+    // A cross-stream batch frame over the wire: streams 0 and 1 land on
+    // different shards, so this exercises the scatter/gather path
+    // end-to-end and the per-slot reply ordering.
+    let mut client =
+        UnixClient::connect_with_retry(&path, Duration::from_secs(10)).expect("connect");
+    let accesses: Vec<(u64, pathfinder_serve::AccessRecord)> = (0..64u64)
+        .map(|i| {
+            (
+                i % 2,
+                AccessRecord {
+                    instr_id: i,
+                    pc: 0x400 + (i % 2) * 8,
+                    vaddr: i * 64,
+                    depends_on_prev: false,
+                },
+            )
+        })
+        .collect();
+    let resp = client
+        .request(&Request::AccessBatch {
+            accesses: accesses.clone(),
+        })
+        .expect("batch round trip");
+    let Response::PrefetchBatch(parts) = resp else {
+        panic!("batch reply was {resp:?}")
+    };
+    assert_eq!(parts.len(), accesses.len());
+    // The last record per stream reads back via predict.
+    for stream in 0..2u64 {
+        let pos = accesses.iter().rposition(|(s, _)| *s == stream).unwrap();
+        let Response::Prefetches(pred) = client
+            .request(&Request::Predict { stream })
+            .expect("predict round trip")
+        else {
+            panic!("predict failed")
+        };
+        assert_eq!(parts[pos], pred, "stream {stream} slot misaligned");
+    }
+
+    // A batch frame declaring more records than the cap gets an Error
+    // reply on the same connection, which keeps serving afterwards.
+    let mut raw = UnixStream::connect(&path).expect("raw connect");
+    let mut payload = vec![7u8]; // REQ_ACCESS_BATCH
+    payload.extend_from_slice(&(pathfinder_serve::MAX_BATCH_RECORDS as u32 + 1).to_le_bytes());
+    raw.write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&payload).unwrap();
+    let reply = pathfinder_serve::wire::read_frame(&mut raw)
+        .expect("reply frame")
+        .expect("daemon replied");
+    assert!(matches!(
+        Response::decode(&reply).expect("decodable reply"),
+        Response::Error(_)
+    ));
+
+    // A truncated batch (count says 3, one record follows) also errors.
+    let mut payload = vec![7u8];
+    payload.extend_from_slice(&3u32.to_le_bytes());
+    let one = Request::Access {
+        stream: 0,
+        access: AccessRecord {
+            instr_id: 0,
+            pc: 0,
+            vaddr: 0,
+            depends_on_prev: false,
+        },
+    }
+    .encode();
+    payload.extend_from_slice(&one[1..]); // strip the tag: stream + one record
+    raw.write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&payload).unwrap();
+    let reply = pathfinder_serve::wire::read_frame(&mut raw)
+        .expect("reply frame")
+        .expect("daemon replied");
+    assert!(matches!(
+        Response::decode(&reply).expect("decodable reply"),
+        Response::Error(_)
+    ));
+
+    // An oversized frame header (beyond MAX_FRAME_LEN) kills just that
+    // connection; the daemon itself keeps serving.
+    let mut huge = UnixStream::connect(&path).expect("raw connect");
+    huge.write_all(&((pathfinder_serve::wire::MAX_FRAME_LEN as u32) + 1).to_le_bytes())
+        .unwrap();
+    huge.write_all(&[0u8; 16]).unwrap();
+    assert!(
+        matches!(
+            pathfinder_serve::wire::read_frame(&mut huge),
+            Ok(None) | Err(_)
+        ),
+        "oversized-frame connection must die without a reply"
+    );
+    drop(huge);
+
     let Response::Drained(_) = client
         .request(&Request::Drain { stream: None })
         .expect("drain")

@@ -4,7 +4,9 @@
 //! cares about (SNN presentation 32-tick event-driven vs the retained
 //! reference kernel, the SIMD-dispatched vs forced-scalar tier pair
 //! (`snn.present32.simd` / `snn.present32.scalar`), the frozen-weight
-//! inference kernel, the 1-tick readout, pixel encoding, per-prefetcher
+//! inference kernel and its cross-query batched counterpart
+//! (`snn.present32.frozen_batch{8,32}` vs `snn.present32.frozen_singleton32`,
+//! bit-identical lane outcomes), the 1-tick readout, pixel encoding, per-prefetcher
 //! per-access cost, the duty-cycled cached vs always-on steady-state
 //! pair, the flat-layout timed replay vs the retained reference engine
 //! (`sim.replay.{demand,prefetch,e2e}` plus `sim.replay.e2e.reference`),
@@ -119,6 +121,11 @@ pub struct BenchReport {
     /// PR-7 acceptance figure). ~1.0 on scalar-dispatched hosts — check
     /// `kernel_tier`.
     pub sim_simd_speedup: f64,
+    /// Paired-median speedup of one 32-lane `present_frozen_batch` call
+    /// over 32 singleton `present_frozen` calls on an identically trained
+    /// twin network (the PR-10 acceptance figure; target ≥ 1.3x). Both
+    /// sides produce bit-identical lane outcomes.
+    pub frozen_batch_speedup: f64,
     /// The kernel tier this run's SNN suites dispatched to (`"avx2"` or
     /// `"scalar"`), from `pathfinder_snn::active_tier`.
     pub kernel_tier: &'static str,
@@ -281,6 +288,48 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
     }
     suites.push(measure("snn.present32.frozen", 25, 1, || {
         black_box(frozen_net.present_frozen(black_box(&rates)));
+    }));
+
+    // Cross-query batched frozen inference (PR 10): 32 distinct delta
+    // histories encoded as 32 pixel matrices, presented as lockstep lanes
+    // of one `present_frozen_batch` call against 32 singleton
+    // `present_frozen` calls on a same-seeded, identically trained twin.
+    // Lane results are bit-identical across the two sides (pinned by
+    // snn/tests/frozen_batch_equivalence.rs), so the paired ratio isolates
+    // the shared weight-row gathers and query-dimension vectorization.
+    // ops = lanes, so per-op figures stay per query and comparable with
+    // the singleton cell above.
+    let batch_rates: Vec<Vec<f32>> = (0..32)
+        .map(|i| encoder.encode(&[1 + (i % 5) as i16, 2 + (i % 7) as i16, 3 + (i % 11) as i16]))
+        .collect();
+    let mut batch_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    let mut single_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
+    for _ in 0..8 {
+        batch_net.present(&rates, true);
+        single_net.present(&rates, true);
+    }
+    let lanes32: Vec<&[f32]> = batch_rates.iter().map(|r| r.as_slice()).collect();
+    let (batch32_suite, single32_suite, frozen_batch_speedup) = measure_ratio(
+        "snn.present32.frozen_batch32",
+        "snn.present32.frozen_singleton32",
+        25,
+        32,
+        || {
+            black_box(batch_net.present_frozen_batch(black_box(&lanes32)));
+        },
+        || {
+            for r in &batch_rates {
+                black_box(single_net.present_frozen(black_box(r)));
+            }
+        },
+    );
+    suites.push(batch32_suite);
+    suites.push(single32_suite);
+    // The 8-lane cell tracks small bursts (typical serve frame tails),
+    // where fixed per-call costs amortize over fewer lanes.
+    let lanes8: Vec<&[f32]> = batch_rates[..8].iter().map(|r| r.as_slice()).collect();
+    suites.push(measure("snn.present32.frozen_batch8", 25, 8, || {
+        black_box(batch_net.present_frozen_batch(black_box(&lanes8)));
     }));
 
     let mut one_tick_net = DiehlCookNetwork::new(cfg.snn_config(), opts.seed).unwrap();
@@ -574,6 +623,7 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         snn_simd_speedup,
         sim_simd_speedup,
         serve_batch_speedup,
+        frozen_batch_speedup,
         kernel_tier: pathfinder_snn::active_tier().name(),
         telemetry,
     }
@@ -651,6 +701,8 @@ impl BenchReport {
         json::write_f64(&mut out, self.sim_simd_speedup);
         out.push_str(",\"serve_batch_vs_single_speedup\":");
         json::write_f64(&mut out, self.serve_batch_speedup);
+        out.push_str(",\"frozen_batch_vs_singleton_speedup\":");
+        json::write_f64(&mut out, self.frozen_batch_speedup);
         out.push_str("},\"telemetry\":");
         self.telemetry.write_json(&mut out);
         out.push('}');
@@ -695,6 +747,10 @@ impl BenchReport {
         out.push_str(&format!(
             "Serve daemon: batched hot path (access_batch x16, sticky, duty-cycled) is {:.2}x the single-access path\n",
             self.serve_batch_speedup
+        ));
+        out.push_str(&format!(
+            "Frozen inference: one 32-lane batched presentation is {:.2}x 32 singleton queries\n",
+            self.frozen_batch_speedup
         ));
         out
     }
@@ -873,6 +929,9 @@ mod tests {
             "snn.present32.simd",
             "snn.present32.scalar",
             "snn.present32.frozen",
+            "snn.present32.frozen_batch32",
+            "snn.present32.frozen_singleton32",
+            "snn.present32.frozen_batch8",
             "snn.present1.event",
             "encode.pixel_matrix",
             "prefetcher.nextline",
@@ -901,6 +960,7 @@ mod tests {
         assert!(rep.sim_replay_speedup.is_finite() && rep.sim_replay_speedup > 0.0);
         assert!(rep.snn_simd_speedup.is_finite() && rep.snn_simd_speedup > 0.0);
         assert!(rep.sim_simd_speedup.is_finite() && rep.sim_simd_speedup > 0.0);
+        assert!(rep.frozen_batch_speedup.is_finite() && rep.frozen_batch_speedup > 0.0);
         assert_eq!(rep.kernel_tier, pathfinder_snn::active_tier().name());
 
         let doc = json::parse(&rep.to_json()).expect("bench JSON parses");

@@ -1176,6 +1176,58 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "telemetry"),
+        ignore = "snn.frozen.batch counters need the telemetry feature (on in workspace builds)"
+    )]
+    fn status_surfaces_frozen_batch_counters() {
+        // Duty-cycle learning off after 50 accesses so the burst-drained
+        // batch's tail runs as one frozen segment, whose cache-missing
+        // queries dispatch through `present_frozen_batch` — visible in the
+        // merged status JSON as the snn.frozen.batch family, alongside the
+        // serve.batch.* counters.
+        let engine = ServeEngine::new(1);
+        let mut requester = engine.requester();
+        assert!(matches!(
+            requester.request(Request::Configure(crate::protocol::ConfigDelta {
+                duty: Some((50, 5000)),
+                ..Default::default()
+            })),
+            Response::Ok
+        ));
+        // Varied strides across a few PCs/pages: enough fresh pixel
+        // matrices that the frozen segment has several compute lanes.
+        let accesses: Vec<(u64, AccessRecord)> = (0..300u64)
+            .map(|i| {
+                (
+                    0,
+                    AccessRecord {
+                        instr_id: i * 3,
+                        pc: 0x400 + (i % 4) * 8,
+                        vaddr: i * 64 + if i % 17 == 0 { 4096 } else { 0 },
+                        depends_on_prev: i % 5 == 0,
+                    },
+                )
+            })
+            .collect();
+        requester.request(Request::AccessBatch { accesses });
+        let Response::Status(status) = requester.request(Request::Status { stream: None }) else {
+            panic!("status failed")
+        };
+        for key in [
+            "snn.frozen.batch.calls",
+            "snn.frozen.batch.queries",
+            "snn.frozen.batch.lanes",
+        ] {
+            assert!(
+                status.telemetry_json.contains(key),
+                "status JSON missing {key}: {}",
+                status.telemetry_json
+            );
+        }
+    }
+
+    #[test]
     fn oversized_in_process_batch_is_refused() {
         let engine = ServeEngine::new(1);
         let accesses = vec![(0u64, rec(0)); MAX_BATCH_RECORDS + 1];

@@ -128,15 +128,19 @@ impl StreamSession {
         *self.prefetcher.stats()
     }
 
-    /// Ingests one demand load and returns the prefetch blocks issued for
-    /// it — the exact per-access body of `generate_prefetches`, applied
-    /// incrementally.
-    pub fn access(&mut self, rec: AccessRecord) -> Vec<Block> {
-        let mut access = MemoryAccess::new(rec.instr_id, rec.pc, rec.vaddr);
+    /// Converts a wire record into the simulator's access form.
+    fn to_access(rec: AccessRecord) -> MemoryAccess {
+        let access = MemoryAccess::new(rec.instr_id, rec.pc, rec.vaddr);
         if rec.depends_on_prev {
-            access = access.dependent();
+            access.dependent()
+        } else {
+            access
         }
-        let blocks = self.prefetcher.on_access(&access);
+    }
+
+    /// The per-access tail of `generate_prefetches`: dedup, `max_degree`
+    /// truncation, schedule/trace/last-prediction bookkeeping.
+    fn issue(&mut self, access: MemoryAccess, blocks: Vec<Block>) -> Vec<Block> {
         let mut seen: Vec<Block> = Vec::with_capacity(self.max_degree);
         for b in blocks {
             if seen.len() >= self.max_degree {
@@ -152,20 +156,39 @@ impl StreamSession {
         seen
     }
 
+    /// Ingests one demand load and returns the prefetch blocks issued for
+    /// it — the exact per-access body of `generate_prefetches`, applied
+    /// incrementally.
+    pub fn access(&mut self, rec: AccessRecord) -> Vec<Block> {
+        let access = Self::to_access(rec);
+        let blocks = self.prefetcher.on_access(&access);
+        self.issue(access, blocks)
+    }
+
     /// Ingests a run of demand loads back-to-back and returns the blocks
     /// issued for each, in input order, plus the number of frozen SNN
     /// inferences the run executed (`snn_cache_misses` delta — every
-    /// duty-cycled-off query that missed the memoization cache ran
-    /// `present_frozen` on this thread with the weights still warm).
+    /// duty-cycled-off query that missed the memoization cache counts,
+    /// whether it ran as a batched lane or inline).
     ///
-    /// This is the grouped-inference half of the serve batching story: the
-    /// result is bit-identical to calling [`StreamSession::access`] once per
-    /// record — grouping only keeps the same prefetcher's scratch and
-    /// weights hot across consecutive queries instead of interleaving other
-    /// streams between them.
+    /// The run routes through
+    /// [`PathfinderPrefetcher::on_access_run`], which collects each
+    /// contiguous duty-cycled-off stretch's cache-missing pixel matrices up
+    /// front and presents them as lockstep lanes of one
+    /// `present_frozen_batch` call — so the inference work PR 9's burst
+    /// drain already groups per stream now shares one pass over the weight
+    /// matrix. The result is bit-identical to calling
+    /// [`StreamSession::access`] once per record: batching changes when the
+    /// frozen kernel runs, not what it computes.
     pub fn access_run(&mut self, recs: &[AccessRecord]) -> (Vec<Vec<Block>>, u64) {
         let misses_before = self.prefetcher.stats().snn_cache_misses;
-        let out = recs.iter().map(|&rec| self.access(rec)).collect();
+        let accesses: Vec<MemoryAccess> = recs.iter().map(|&rec| Self::to_access(rec)).collect();
+        let per_access = self.prefetcher.on_access_run(&accesses);
+        let out = accesses
+            .iter()
+            .zip(per_access)
+            .map(|(&access, blocks)| self.issue(access, blocks))
+            .collect();
         let grouped = self.prefetcher.stats().snn_cache_misses - misses_before;
         (out, grouped)
     }
@@ -275,7 +298,18 @@ mod tests {
             grouped.stats().snn_cache_misses,
             "every cache-missing frozen query is reported as grouped work"
         );
-        assert_eq!(one_at_a_time.drain().schedule, grouped.drain().schedule);
+        // access_run now routes frozen segments through the batched
+        // `present_frozen_batch` kernel; the drain must stay bit-identical
+        // down to every stats counter, not just the schedule.
+        assert_eq!(
+            one_at_a_time.stats(),
+            grouped.stats(),
+            "batched inference must leave all counters invariant"
+        );
+        let (single_drain, grouped_drain) = (one_at_a_time.drain(), grouped.drain());
+        assert_eq!(single_drain.schedule, grouped_drain.schedule);
+        assert_eq!(single_drain.report, grouped_drain.report);
+        assert_eq!(single_drain.pf, grouped_drain.pf);
     }
 
     #[test]

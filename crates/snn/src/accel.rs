@@ -39,47 +39,27 @@
 //! The capability probe, tier enum, and override parsing started life in
 //! this module (PR 6) and now live in the workspace-shared
 //! [`pathfinder_accel`] crate, where the `sim` crate's integer replay
-//! kernels dispatch through the same types; this module re-exports them
-//! unchanged and keeps only the SNN-specific f32 kernels.
+//! kernels dispatch through the same types. The elementwise f32 kernels
+//! (`add_assign`, `scale_in_place`, `masked_scaled_add`,
+//! `masked_add_uniform`, `lif_step` and its `LifStepParams`) moved there
+//! too (PR 10), because the cross-query batched kernel reuses them
+//! verbatim over lane-major `[lanes × n]` state — dispatching the single-
+//! and multi-lane paths through the *same* functions makes their
+//! per-element bit-identity true by construction.
+//! This module re-exports everything unchanged and keeps only the kernels
+//! with SNN-specific shapes (expected-drive accumulation, theta-gap
+//! readout, column-strided normalization).
 
 pub use pathfinder_accel::{active_tier, CpuCapabilities, KernelTier};
-
-/// Parameters of one LIF integration tick, hoisted out of
-/// [`lif_step`]'s lane loop.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct LifStepParams {
-    /// Resting potential the membrane decays toward.
-    pub v_rest: f32,
-    /// Precomputed per-tick decay factor `exp(-1/tc_decay)`.
-    pub decay: f32,
-    /// Base firing threshold (the adaptive theta is added per neuron).
-    pub v_thresh: f32,
-    /// Potential after a spike.
-    pub v_reset: f32,
-    /// Refractory ticks after a spike.
-    pub refractory: u32,
-}
+pub(crate) use pathfinder_accel::{
+    add_assign, lif_step, masked_add_uniform, masked_scaled_add, scale_in_place, LifStepParams,
+};
 
 // ---------------------------------------------------------------------------
 // Dispatch wrappers. Each asserts slice-shape invariants once, then routes
 // to the scalar loop or (behind the capability check encoded in the tier's
 // construction) the AVX2 kernel.
 // ---------------------------------------------------------------------------
-
-/// `dst[i] += src[i]` — the event kernel's per-spike weight-row
-/// accumulation into the drive buffer, and the row step of
-/// [`column_sums`].
-#[inline]
-pub(crate) fn add_assign(tier: KernelTier, dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "accel: slice length mismatch");
-    match tier {
-        KernelTier::Scalar => add_assign_scalar(dst, src),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: an Avx2 tier is only constructed after a successful
-        // `is_x86_feature_detected!("avx2")` probe (see KernelTier docs).
-        KernelTier::Avx2 => unsafe { avx2::add_assign(dst, src) },
-    }
-}
 
 /// `dst[i] += k * src[i]` — the expected-drive accumulation
 /// (`rate × weight-row`), kept as separate mul/add roundings.
@@ -94,17 +74,6 @@ pub(crate) fn scaled_add_assign(tier: KernelTier, dst: &mut [f32], src: &[f32], 
     }
 }
 
-/// `xs[i] *= factor` — theta decay with a precomputed per-tick factor.
-#[inline]
-pub(crate) fn scale_in_place(tier: KernelTier, xs: &mut [f32], factor: f32) {
-    match tier {
-        KernelTier::Scalar => scale_in_place_scalar(xs, factor),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: as in `add_assign`.
-        KernelTier::Avx2 => unsafe { avx2::scale_in_place(xs, factor) },
-    }
-}
-
 /// `scores[i] /= gap + max(thetas[i], 0)` — the final step of the §3.4
 /// expected time-to-fire readout.
 #[inline]
@@ -115,67 +84,6 @@ pub(crate) fn div_by_theta_gap(tier: KernelTier, scores: &mut [f32], thetas: &[f
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as in `add_assign`.
         KernelTier::Avx2 => unsafe { avx2::div_by_theta_gap(scores, thetas, gap) },
-    }
-}
-
-/// `v[i] += currents[i] * gain` for every non-refractory neuron
-/// (`refrac[i] == 0`) — the bulk synaptic injection behind
-/// [`crate::LifLayer::inject_all`].
-#[inline]
-pub(crate) fn masked_scaled_add(
-    tier: KernelTier,
-    v: &mut [f32],
-    refrac: &[u32],
-    currents: &[f32],
-    gain: f32,
-) {
-    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
-    assert_eq!(v.len(), currents.len(), "accel: slice length mismatch");
-    match tier {
-        KernelTier::Scalar => masked_scaled_add_scalar(v, refrac, currents, gain),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: as in `add_assign`.
-        KernelTier::Avx2 => unsafe { avx2::masked_scaled_add(v, refrac, currents, gain) },
-    }
-}
-
-/// `v[i] += current` for every non-refractory neuron — the batched
-/// lateral-inhibition term behind [`crate::LifLayer::inject_uniform`].
-#[inline]
-pub(crate) fn masked_add_uniform(tier: KernelTier, v: &mut [f32], refrac: &[u32], current: f32) {
-    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
-    match tier {
-        KernelTier::Scalar => masked_add_uniform_scalar(v, refrac, current),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: as in `add_assign`.
-        KernelTier::Avx2 => unsafe { avx2::masked_add_uniform(v, refrac, current) },
-    }
-}
-
-/// One LIF tick over the whole population: refractory neurons count down
-/// and skip integration; the rest leak toward rest and fire when they
-/// cross `v_thresh + theta[i]`, resetting to `v_reset` and entering the
-/// refractory period. Spiking indices are appended to `spikes_out`
-/// (cleared first) in ascending order — the AVX2 path extracts them from
-/// the lane movemask lowest-lane-first, so the order matches the scalar
-/// walk exactly.
-#[inline]
-pub(crate) fn lif_step(
-    tier: KernelTier,
-    v: &mut [f32],
-    refrac: &mut [u32],
-    theta: &[f32],
-    p: LifStepParams,
-    spikes_out: &mut Vec<usize>,
-) {
-    assert_eq!(v.len(), refrac.len(), "accel: slice length mismatch");
-    assert_eq!(v.len(), theta.len(), "accel: slice length mismatch");
-    spikes_out.clear();
-    match tier {
-        KernelTier::Scalar => lif_step_scalar(v, refrac, theta, p, 0, spikes_out),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: as in `add_assign`.
-        KernelTier::Avx2 => unsafe { avx2::lif_step(v, refrac, theta, p, spikes_out) },
     }
 }
 
@@ -224,21 +132,9 @@ pub(crate) fn scale_columns(tier: KernelTier, weights: &mut [f32], n_cols: usize
 // these for their non-multiple-of-8 tails.
 // ---------------------------------------------------------------------------
 
-fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d += s;
-    }
-}
-
 fn scaled_add_assign_scalar(dst: &mut [f32], src: &[f32], k: f32) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d += k * s;
-    }
-}
-
-fn scale_in_place_scalar(xs: &mut [f32], factor: f32) {
-    for x in xs {
-        *x *= factor;
     }
 }
 
@@ -254,46 +150,6 @@ fn div_by_theta_gap_scalar(scores: &mut [f32], thetas: &[f32], gap: f32) {
     }
 }
 
-fn masked_scaled_add_scalar(v: &mut [f32], refrac: &[u32], currents: &[f32], gain: f32) {
-    for ((v, &r), &c) in v.iter_mut().zip(refrac).zip(currents) {
-        if r == 0 {
-            *v += c * gain;
-        }
-    }
-}
-
-fn masked_add_uniform_scalar(v: &mut [f32], refrac: &[u32], current: f32) {
-    for (v, &r) in v.iter_mut().zip(refrac) {
-        if r == 0 {
-            *v += current;
-        }
-    }
-}
-
-/// The scalar LIF tick; `base` offsets pushed spike indices so the AVX2
-/// kernel can reuse it for its tail lanes.
-fn lif_step_scalar(
-    v: &mut [f32],
-    refrac: &mut [u32],
-    theta: &[f32],
-    p: LifStepParams,
-    base: usize,
-    spikes_out: &mut Vec<usize>,
-) {
-    for i in 0..v.len() {
-        if refrac[i] > 0 {
-            refrac[i] -= 1;
-            continue;
-        }
-        v[i] = p.v_rest + (v[i] - p.v_rest) * p.decay;
-        if v[i] >= p.v_thresh + theta[i] {
-            spikes_out.push(base + i);
-            v[i] = p.v_reset;
-            refrac[i] = p.refractory;
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // AVX2 kernels. Each processes 8 lanes per iteration with the *same*
 // per-element operations as its scalar counterpart (separate mul/add
@@ -305,22 +161,7 @@ fn lif_step_scalar(
 mod avx2 {
     use std::arch::x86_64::*;
 
-    use super::LifStepParams;
-
     const LANES: usize = 8;
-
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
-        let n = dst.len();
-        let mut i = 0;
-        while i + LANES <= n {
-            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
-            let s = _mm256_loadu_ps(src.as_ptr().add(i));
-            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, s));
-            i += LANES;
-        }
-        super::add_assign_scalar(&mut dst[i..], &src[i..]);
-    }
 
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scaled_add_assign(dst: &mut [f32], src: &[f32], k: f32) {
@@ -336,19 +177,6 @@ mod avx2 {
             i += LANES;
         }
         super::scaled_add_assign_scalar(&mut dst[i..], &src[i..], k);
-    }
-
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn scale_in_place(xs: &mut [f32], factor: f32) {
-        let n = xs.len();
-        let f = _mm256_set1_ps(factor);
-        let mut i = 0;
-        while i + LANES <= n {
-            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
-            _mm256_storeu_ps(xs.as_mut_ptr().add(i), _mm256_mul_ps(x, f));
-            i += LANES;
-        }
-        super::scale_in_place_scalar(&mut xs[i..], factor);
     }
 
     #[target_feature(enable = "avx2")]
@@ -380,102 +208,6 @@ mod avx2 {
             i += LANES;
         }
         super::div_by_theta_gap_scalar(&mut scores[i..], &thetas[i..], gap);
-    }
-
-    /// All-ones lanes where `refrac == 0` (the non-refractory mask).
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    unsafe fn active_mask(refrac: &[u32], i: usize) -> __m256i {
-        let r = _mm256_loadu_si256(refrac.as_ptr().add(i).cast());
-        _mm256_cmpeq_epi32(r, _mm256_setzero_si256())
-    }
-
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn masked_scaled_add(
-        v: &mut [f32],
-        refrac: &[u32],
-        currents: &[f32],
-        gain: f32,
-    ) {
-        let n = v.len();
-        let g = _mm256_set1_ps(gain);
-        let mut i = 0;
-        while i + LANES <= n {
-            let active = _mm256_castsi256_ps(active_mask(refrac, i));
-            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
-            let c = _mm256_loadu_ps(currents.as_ptr().add(i));
-            let bumped = _mm256_add_ps(vv, _mm256_mul_ps(c, g));
-            // Refractory lanes keep their exact input bits.
-            _mm256_storeu_ps(v.as_mut_ptr().add(i), _mm256_blendv_ps(vv, bumped, active));
-            i += LANES;
-        }
-        super::masked_scaled_add_scalar(&mut v[i..], &refrac[i..], &currents[i..], gain);
-    }
-
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn masked_add_uniform(v: &mut [f32], refrac: &[u32], current: f32) {
-        let n = v.len();
-        let c = _mm256_set1_ps(current);
-        let mut i = 0;
-        while i + LANES <= n {
-            let active = _mm256_castsi256_ps(active_mask(refrac, i));
-            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
-            let bumped = _mm256_add_ps(vv, c);
-            _mm256_storeu_ps(v.as_mut_ptr().add(i), _mm256_blendv_ps(vv, bumped, active));
-            i += LANES;
-        }
-        super::masked_add_uniform_scalar(&mut v[i..], &refrac[i..], current);
-    }
-
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn lif_step(
-        v: &mut [f32],
-        refrac: &mut [u32],
-        theta: &[f32],
-        p: LifStepParams,
-        spikes_out: &mut Vec<usize>,
-    ) {
-        let n = v.len();
-        let v_rest = _mm256_set1_ps(p.v_rest);
-        let decay = _mm256_set1_ps(p.decay);
-        let v_thresh = _mm256_set1_ps(p.v_thresh);
-        let v_reset = _mm256_set1_ps(p.v_reset);
-        let refr = _mm256_set1_epi32(p.refractory as i32);
-        let one = _mm256_set1_epi32(1);
-        let mut i = 0;
-        while i + LANES <= n {
-            let r = _mm256_loadu_si256(refrac.as_ptr().add(i).cast());
-            let active = _mm256_cmpeq_epi32(r, _mm256_setzero_si256());
-            let active_ps = _mm256_castsi256_ps(active);
-
-            // Leak toward rest on active lanes: v_rest + (v - v_rest) * decay.
-            let vv = _mm256_loadu_ps(v.as_ptr().add(i));
-            let leaked = _mm256_add_ps(v_rest, _mm256_mul_ps(_mm256_sub_ps(vv, v_rest), decay));
-            let v_new = _mm256_blendv_ps(vv, leaked, active_ps);
-
-            // Spike where an active lane crosses v_thresh + theta.
-            let th = _mm256_add_ps(v_thresh, _mm256_loadu_ps(theta.as_ptr().add(i)));
-            let crossed = _mm256_cmp_ps::<_CMP_GE_OQ>(v_new, th);
-            let spike = _mm256_and_ps(crossed, active_ps);
-
-            // Spiking lanes reset; refractory lanes count down; active
-            // non-spiking lanes keep refrac == 0 (blend keeps `r`).
-            let v_fin = _mm256_blendv_ps(v_new, v_reset, spike);
-            _mm256_storeu_ps(v.as_mut_ptr().add(i), v_fin);
-            let r_dec = _mm256_sub_epi32(r, one);
-            let r_keep = _mm256_blendv_epi8(r_dec, r, active);
-            let r_fin = _mm256_blendv_epi8(r_keep, refr, _mm256_castps_si256(spike));
-            _mm256_storeu_si256(refrac.as_mut_ptr().add(i).cast(), r_fin);
-
-            // Extract spiking lanes lowest-first so indices stay ascending.
-            let mut mask = _mm256_movemask_ps(spike) as u32;
-            while mask != 0 {
-                spikes_out.push(i + mask.trailing_zeros() as usize);
-                mask &= mask - 1;
-            }
-            i += LANES;
-        }
-        super::lif_step_scalar(&mut v[i..], &mut refrac[i..], &theta[i..], p, i, spikes_out);
     }
 }
 
